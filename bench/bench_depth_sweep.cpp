@@ -1,0 +1,81 @@
+// E8 — Section IV: "All configurations of the reconfigurable pipeline
+// (from 3 to 18 stages) were exercised at 0.5-1.6V. The experiments
+// showed that both the computation time and the energy consumption
+// increase linearly with the pipeline length; the slope of increment is
+// reverse-proportional to the supply voltage."
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "chip/chip.hpp"
+#include "util/linear_fit.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace rap;
+    bench::Stopwatch watch;
+    bench::print_header(
+        "E8 / depth sweep",
+        "time & energy vs configured depth (3..18) across voltages");
+
+    constexpr std::uint64_t kItems = 700;
+    constexpr int kStages = 18;
+    const std::vector<double> voltages = {0.5, 0.8, 1.2, 1.6};
+
+    util::Table table({"depth", "T@0.5V ns", "T@0.8V ns", "T@1.2V ns",
+                       "T@1.6V ns", "E@0.5V pJ", "E@0.8V pJ", "E@1.2V pJ",
+                       "E@1.6V pJ"});
+
+    std::vector<double> depths;
+    std::vector<std::vector<double>> times(voltages.size());
+    std::vector<std::vector<double>> energies(voltages.size());
+
+    for (int depth = 3; depth <= kStages; ++depth) {
+        chip::ChipOptions options;
+        options.stages = kStages;
+        options.depth = depth;
+        options.core = chip::Core::Reconfigurable;
+        options.sync = netlist::SyncTopology::DaisyChain;
+        const chip::Evaluation chip_eval(options);
+        depths.push_back(depth);
+
+        std::vector<std::string> row = {std::to_string(depth)};
+        std::vector<std::string> energy_cells;
+        for (std::size_t vi = 0; vi < voltages.size(); ++vi) {
+            const auto m = chip_eval.measure(voltages[vi], kItems);
+            times[vi].push_back(m.time_per_item_s());
+            energies[vi].push_back(m.energy_per_item_j());
+            row.push_back(util::Table::num(m.time_per_item_s() * 1e9, 2));
+            energy_cells.push_back(
+                util::Table::num(m.energy_per_item_j() * 1e12, 1));
+        }
+        row.insert(row.end(), energy_cells.begin(), energy_cells.end());
+        table.add_row(row);
+    }
+    std::printf("%s\n", table.to_ascii().c_str());
+
+    util::Table fits({"V", "time slope [ns/stage]", "time R^2",
+                      "energy slope [pJ/stage]", "energy R^2"});
+    std::vector<double> time_slopes;
+    for (std::size_t vi = 0; vi < voltages.size(); ++vi) {
+        const auto tf = util::fit_line(depths, times[vi]);
+        const auto ef = util::fit_line(depths, energies[vi]);
+        time_slopes.push_back(tf.slope);
+        fits.add_row({util::Table::num(voltages[vi], 1),
+                      util::Table::num(tf.slope * 1e9, 4),
+                      util::Table::num(tf.r_squared, 4),
+                      util::Table::num(ef.slope * 1e12, 3),
+                      util::Table::num(ef.r_squared, 4)});
+    }
+    std::printf("linear fits per voltage:\n%s\n", fits.to_ascii().c_str());
+
+    bool slopes_shrink = true;
+    for (std::size_t i = 1; i < time_slopes.size(); ++i) {
+        slopes_shrink &= time_slopes[i] < time_slopes[i - 1];
+    }
+    std::printf("time/energy grow linearly with depth (R^2 ~ 1): see fits\n");
+    std::printf("slope falls as voltage rises (reverse-proportional): %s\n",
+                slopes_shrink ? "yes" : "NO");
+    bench::print_footer(watch);
+    return slopes_shrink ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared helpers for the experiment-regeneration harnesses. Each bench
+// binary reproduces one table/figure of the paper (see DESIGN.md §3) and
+// prints it in the same rows/series the paper reports.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace rap::bench {
+
+/// Wall-clock stopwatch for reporting harness runtimes.
+class Stopwatch {
+public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+    double elapsed_s() const {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& experiment,
+                         const std::string& what) {
+    std::printf("==========================================================\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("%s\n", what.c_str());
+    std::printf("==========================================================\n");
+}
+
+inline void print_footer(const Stopwatch& watch) {
+    std::printf("[harness runtime: %.2f s]\n\n", watch.elapsed_s());
+}
+
+}  // namespace rap::bench

@@ -1,0 +1,61 @@
+// Voltage resilience demo (the Fig. 9b experiment in miniature): run the
+// reconfigurable OPE core while the supply collapses below the freeze
+// point, observe the leakage-only plateau, then recover and finish.
+//
+//   $ ./examples/voltage_resilience
+
+#include <cstdio>
+
+#include "chip/chip.hpp"
+
+int main() {
+    using namespace rap;
+
+    chip::ChipOptions options;
+    options.stages = 18;
+    options.depth = 18;
+    options.core = chip::Core::Reconfigurable;
+    options.sync = netlist::SyncTopology::DaisyChain;
+    const chip::Evaluation chip_eval(options);
+
+    constexpr std::uint64_t kItems = 800;
+
+    // How long would the run take at a healthy 0.5V?
+    const auto healthy = chip_eval.measure(0.5, kItems);
+    std::printf("at 0.5V the run takes %.3f us\n", healthy.time_s * 1e6);
+
+    // Now collapse the supply a third of the way in, hold below the
+    // freeze voltage for 10x the healthy runtime, then restore it.
+    tech::VoltageSchedule schedule;
+    schedule.add_segment(healthy.time_s / 3, 0.50);
+    schedule.add_segment(healthy.time_s * 10, 0.30);  // frozen
+    schedule.add_segment(1.0, 0.50);                  // recovery
+    const auto stats = chip_eval.measure_with_schedule(
+        schedule, kItems, /*trace_bin_s=*/healthy.time_s / 10,
+        /*max_time_s=*/1e9);
+
+    std::printf("with the brown-out the same run takes %.3f us\n",
+                stats.time_s * 1e6);
+    std::printf("items completed: %llu/%llu — %s\n",
+                static_cast<unsigned long long>(
+                    stats.marks_at(chip_eval.model().out)),
+                static_cast<unsigned long long>(kItems),
+                stats.marks_at(chip_eval.model().out) == kItems
+                    ? "no data lost, no re-run needed"
+                    : "INCOMPLETE");
+
+    std::printf("\npower trace (note the leakage-only plateau while "
+                "frozen):\n");
+    std::printf("  %-12s %-8s %s\n", "t [us]", "V", "P [uW]");
+    for (std::size_t i = 0; i < stats.trace.size(); i += 12) {
+        const auto& s = stats.trace[i];
+        std::printf("  %-12.3f %-8.2f %.4f\n", s.t_start_s * 1e6,
+                    s.voltage_v, s.power_w * 1e6);
+    }
+    std::printf(
+        "\nBecause the pipeline is asynchronous there is no clock to\n"
+        "violate: computation simply stalls below ~0.34V and resumes\n"
+        "when the supply returns — 'it can be left at this voltage for\n"
+        "hours with no progress being made' (Section IV).\n");
+    return stats.marks_at(chip_eval.model().out) == kItems ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Waveform + ASTG export: run the Fig. 1b model on the timed simulator,
+// dump a GTKWave-compatible VCD of every node's marking/evaluation
+// signals, and export the Petri-net semantics in the .g format consumed
+// by petrify / punf / Workcraft.
+//
+//   $ ./examples/waveform_dump [basename]     # writes <basename>.vcd/.g
+
+#include <cstdio>
+#include <fstream>
+
+#include "asim/timed_sim.hpp"
+#include "asim/vcd.hpp"
+#include "dfs/dynamics.hpp"
+#include "dfs/model.hpp"
+#include "dfs/translate.hpp"
+#include "petri/astg.hpp"
+
+int main(int argc, char** argv) {
+    using namespace rap;
+
+    dfs::Graph g("fig1b");
+    const auto in = g.add_register("in");
+    const auto cond = g.add_logic("cond");
+    const auto ctrl = g.add_control("ctrl", false, dfs::TokenValue::True);
+    const auto filt = g.add_push("filt");
+    const auto comp = g.add_register("comp");
+    const auto out = g.add_pop("out");
+    g.connect(in, cond);
+    g.connect(cond, ctrl);
+    g.connect(in, filt);
+    g.connect(ctrl, filt);
+    g.connect(filt, comp);
+    g.connect(comp, out);
+    g.connect(ctrl, out);
+
+    // Timed run with distinct node delays so the waveform shows realistic
+    // skews; comp is the slow pipelined function.
+    const dfs::Dynamics dyn(g);
+    asim::TimingMap timing = asim::uniform_timing(g, 1e-9);
+    timing[comp.value].delay_s = 8e-9;
+    asim::TimedSimulator sim(dyn, timing, tech::VoltageModel{},
+                             tech::VoltageSchedule::constant(1.2), 0.0);
+    sim.set_true_bias(0.5, 99);
+    sim.enable_event_trace();
+    dfs::State state = dfs::State::initial(g);
+    asim::RunLimits limits;
+    limits.target_marks = 12;
+    limits.observe = out;
+    const auto stats = sim.run(state, limits);
+    std::printf("simulated %llu events over %.1f ns (12 output tokens)\n",
+                static_cast<unsigned long long>(stats.events),
+                stats.time_s * 1e9);
+
+    const std::string base = argc > 1 ? argv[1] : "fig1b";
+    const std::string vcd_path = base + ".vcd";
+    const std::string astg_path = base + ".g";
+
+    std::ofstream(vcd_path) << asim::to_vcd(g, stats.events_log, 1e-12);
+    std::printf("wrote %s — open with `gtkwave %s` to see the 4-phase\n"
+                "handshake waves and the bypass cycles (T_filt low)\n",
+                vcd_path.c_str(), vcd_path.c_str());
+
+    const auto tr = dfs::to_petri(g);
+    std::ofstream(astg_path) << petri::to_astg(tr.net);
+    std::printf("wrote %s — the Fig. 4 net in .g format for petrify / "
+                "punf / Workcraft\n",
+                astg_path.c_str());
+    return 0;
+}

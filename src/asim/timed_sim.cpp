@@ -1,0 +1,234 @@
+#include "asim/timed_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace rap::asim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TimingMap uniform_timing(const dfs::Graph& graph, double delay_s,
+                         double energy_j) {
+    return TimingMap(graph.node_count(), NodeTiming{delay_s, energy_j});
+}
+
+TimedSimulator::TimedSimulator(const dfs::Dynamics& dynamics,
+                               TimingMap timing, tech::VoltageModel model,
+                               tech::VoltageSchedule schedule,
+                               double leakage_gates)
+    : dynamics_(&dynamics),
+      timing_(std::move(timing)),
+      model_(model),
+      schedule_(std::move(schedule)),
+      leakage_gates_(leakage_gates) {
+    const dfs::Graph& graph = dynamics.graph();
+    assert(timing_.size() == graph.node_count());
+
+    // Dense event enumeration.
+    node_event_begin_.resize(graph.node_count() + 1, 0);
+    for (dfs::NodeId n : graph.nodes()) {
+        node_event_begin_[n.value] =
+            static_cast<std::uint32_t>(events_.size());
+        for (const dfs::Event& e : dynamics.node_events(n)) {
+            events_.push_back(e);
+        }
+    }
+    node_event_begin_[graph.node_count()] =
+        static_cast<std::uint32_t>(events_.size());
+
+    // Affected-set: nodes whose event enabledness can change when `n`
+    // changes state — n itself plus its direct and register-level
+    // neighbourhood (all the sets the enabling equations quantify over).
+    affected_.resize(graph.node_count());
+    for (dfs::NodeId n : graph.nodes()) {
+        std::unordered_set<std::uint32_t> set;
+        set.insert(n.value);
+        for (const auto& neighbours :
+             {graph.preset(n), graph.postset(n), graph.r_preset(n),
+              graph.r_postset(n)}) {
+            for (dfs::NodeId m : neighbours) set.insert(m.value);
+        }
+        affected_[n.value].assign(set.begin(), set.end());
+        std::sort(affected_[n.value].begin(), affected_[n.value].end());
+    }
+}
+
+void TimedSimulator::set_true_bias(double bias, std::uint64_t seed) {
+    true_bias_ = bias;
+    bias_seed_ = seed;
+}
+
+void TimedSimulator::enable_power_trace(double bin_s) {
+    trace_bin_s_ = bin_s;
+}
+
+void TimedSimulator::enable_event_trace(std::size_t max_events) {
+    event_trace_cap_ = max_events;
+}
+
+TimedStats TimedSimulator::run(dfs::State& state, const RunLimits& limits) {
+    const dfs::Graph& graph = dynamics_->graph();
+    TimedStats stats;
+    stats.marks.assign(graph.node_count(), 0);
+    util::Rng rng(bias_seed_);
+
+    // enabled_since per event (kInf = disabled), plus a compact list of
+    // candidate indices with lazy deletion so the arbitration scan only
+    // touches currently-enabled events.
+    std::vector<double> enabled_since(events_.size(), kInf);
+    std::vector<char> in_list(events_.size(), 0);
+    std::vector<std::uint32_t> candidates;
+    double now = 0.0;
+
+    auto refresh_node = [&](std::uint32_t node) {
+        for (std::uint32_t i = node_event_begin_[node];
+             i < node_event_begin_[node + 1]; ++i) {
+            const bool enabled = dynamics_->is_enabled(state, events_[i]);
+            if (enabled && enabled_since[i] == kInf) {
+                enabled_since[i] = now;
+                if (!in_list[i]) {
+                    in_list[i] = 1;
+                    candidates.push_back(i);
+                }
+            } else if (!enabled) {
+                enabled_since[i] = kInf;  // inertial cancel
+            }
+        }
+    };
+    for (std::uint32_t n = 0; n < graph.node_count(); ++n) refresh_node(n);
+
+    // Power-trace accumulation.
+    std::vector<double> bin_dynamic;  // dynamic energy per bin
+    auto record_energy = [&](double t, double joules) {
+        if (!trace_bin_s_) return;
+        const auto bin = static_cast<std::size_t>(t / *trace_bin_s_);
+        if (bin_dynamic.size() <= bin) bin_dynamic.resize(bin + 1, 0.0);
+        bin_dynamic[bin] += joules;
+    };
+
+    while (stats.events < limits.max_events) {
+        if (limits.target_marks > 0 &&
+            stats.marks[limits.observe.value] >= limits.target_marks) {
+            break;
+        }
+
+        // Earliest completion among enabled events (compacting the
+        // candidate list as we go).
+        double best_time = kInf;
+        std::uint32_t best = UINT32_MAX;
+        bool any_enabled = false;
+        for (std::size_t c = 0; c < candidates.size();) {
+            const std::uint32_t i = candidates[c];
+            if (enabled_since[i] == kInf) {
+                in_list[i] = 0;
+                candidates[c] = candidates.back();
+                candidates.pop_back();
+                continue;
+            }
+            any_enabled = true;
+            const NodeTiming& t = timing_[events_[i].node.value];
+            double work = t.delay_s;
+            if (t.delay_per_true_input_s > 0) {
+                int real_inputs = 0;
+                for (const dfs::NodeId p :
+                     graph.preset(events_[i].node)) {
+                    if (!graph.is_logic(p) &&
+                        state.marked_true(graph, p)) {
+                        ++real_inputs;
+                    }
+                }
+                work += t.delay_per_true_input_s * real_inputs;
+            }
+            const double done =
+                schedule_.finish_time(model_, enabled_since[i], work);
+            if (done < best_time) {
+                best_time = done;
+                best = i;
+            }
+            ++c;
+        }
+        if (!any_enabled) {
+            stats.deadlocked = true;
+            break;
+        }
+        if (best == UINT32_MAX || best_time > limits.max_time_s) {
+            // All pending work is frozen (or exceeds the time budget).
+            stats.frozen = (best == UINT32_MAX);
+            now = std::min(limits.max_time_s, now);
+            if (!stats.frozen) now = limits.max_time_s;
+            break;
+        }
+
+        // Resolve the free-choice polarity race with the configured bias:
+        // when both polarities of one control register finish together
+        // conceptually, pick by coin flip instead of timing noise.
+        dfs::Event event = events_[best];
+        if (event.kind == dfs::EventKind::MarkTrue ||
+            event.kind == dfs::EventKind::MarkFalse) {
+            const bool is_free_choice =
+                graph.kind(event.node) == dfs::NodeKind::Control &&
+                graph.control_preset(event.node).empty();
+            if (is_free_choice) {
+                event.kind = rng.chance(true_bias_)
+                                 ? dfs::EventKind::MarkTrue
+                                 : dfs::EventKind::MarkFalse;
+            }
+        }
+
+        now = best_time;
+        dynamics_->apply(state, event);
+        ++stats.events;
+        if (event_trace_cap_ &&
+            stats.events_log.size() < *event_trace_cap_) {
+            stats.events_log.push_back({now, event});
+        }
+
+        const double joules =
+            timing_[event.node.value].energy_j *
+            model_.energy_factor(schedule_.voltage_at(now));
+        stats.dynamic_energy_j += joules;
+        record_energy(now, joules);
+
+        if (event.kind == dfs::EventKind::Mark ||
+            event.kind == dfs::EventKind::MarkTrue ||
+            event.kind == dfs::EventKind::MarkFalse) {
+            ++stats.marks[event.node.value];
+        }
+
+        for (const std::uint32_t node : affected_[event.node.value]) {
+            refresh_node(node);
+        }
+    }
+
+    stats.time_s = now;
+    stats.leakage_energy_j =
+        schedule_.leakage_energy(model_, leakage_gates_, 0.0, now);
+
+    if (trace_bin_s_) {
+        const double bin = *trace_bin_s_;
+        const auto bins = static_cast<std::size_t>(
+            std::ceil(now / bin));
+        bin_dynamic.resize(std::max(bin_dynamic.size(), bins), 0.0);
+        for (std::size_t i = 0; i < bin_dynamic.size(); ++i) {
+            PowerSample sample;
+            sample.t_start_s = static_cast<double>(i) * bin;
+            sample.t_end_s = sample.t_start_s + bin;
+            const double leak = schedule_.leakage_energy(
+                model_, leakage_gates_, sample.t_start_s, sample.t_end_s);
+            sample.power_w = (bin_dynamic[i] + leak) / bin;
+            sample.voltage_v = schedule_.voltage_at(sample.t_start_s);
+            stats.trace.push_back(sample);
+        }
+    }
+    return stats;
+}
+
+}  // namespace rap::asim

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dfs/dynamics.hpp"
+#include "tech/voltage.hpp"
+
+namespace rap::asim {
+
+/// Per-node timing/energy annotation at the nominal voltage. Every event
+/// of the node (each phase of the 4-phase handshake: data wave = mark /
+/// evaluate, spacer wave = unmark / reset) takes `delay_s` of
+/// nominal-speed work and dissipates `energy_j` scaled by the square-law
+/// energy factor at the supply voltage in effect when the event fires.
+struct NodeTiming {
+    double delay_s = 1e-9;
+    double energy_j = 1e-12;
+    /// Extra work per *real* (Mt) token among the node's direct register
+    /// preset at the moment the event is scheduled. This models
+    /// daisy-chained completion structures whose traversal cost grows
+    /// with the number of active participants (the chip's stage
+    /// synchronisation, Section IV) — empty tokens from bypassed stages
+    /// ripple through quickly.
+    double delay_per_true_input_s = 0;
+};
+
+/// Timing annotation for a whole graph, indexed by NodeId::value.
+using TimingMap = std::vector<NodeTiming>;
+
+/// Uniform annotation helper (used by abstract performance analysis).
+TimingMap uniform_timing(const dfs::Graph& graph, double delay_s,
+                         double energy_j = 0.0);
+
+/// Stop conditions for a timed run; the first one reached wins.
+struct RunLimits {
+    std::uint64_t max_events = UINT64_MAX;
+    double max_time_s = 1e30;
+    /// Stop once `observe` has latched this many tokens (0 = disabled).
+    std::uint64_t target_marks = 0;
+    dfs::NodeId observe{};
+};
+
+/// One bin of the sampled power trace (Fig. 9b's instrument).
+struct PowerSample {
+    double t_start_s = 0;
+    double t_end_s = 0;
+    double power_w = 0;    ///< average total power over the bin
+    double voltage_v = 0;  ///< supply voltage at bin start
+};
+
+/// One fired event with its completion timestamp (for waveform export).
+struct TimedEvent {
+    double t_s = 0;
+    dfs::Event event;
+};
+
+struct TimedStats {
+    double time_s = 0;
+    std::uint64_t events = 0;
+    bool deadlocked = false;
+    /// The supply froze (all pending work needs a voltage that never
+    /// comes) — the Fig. 9b "stuck at 0.34V forever" condition.
+    bool frozen = false;
+    double dynamic_energy_j = 0;
+    double leakage_energy_j = 0;
+    std::vector<std::uint64_t> marks;  ///< tokens latched per node
+    std::vector<PowerSample> trace;    ///< filled when tracing enabled
+    std::vector<TimedEvent> events_log;  ///< filled when event tracing on
+
+    double total_energy_j() const {
+        return dynamic_energy_j + leakage_energy_j;
+    }
+    std::uint64_t marks_at(dfs::NodeId n) const { return marks.at(n.value); }
+};
+
+/// Event-driven timed token-game simulator — the stand-in for the
+/// fabricated chip plus its measurement bench. Each enabled DFS event
+/// completes after its node's nominal work integrated against the supply
+/// schedule (alpha-power-law speed scaling, freeze below 0.34V); firing
+/// dissipates the node's dynamic energy at the instantaneous voltage, and
+/// leakage accrues continuously over the gate count.
+///
+/// Races are inertial: an event disabled before completion is cancelled
+/// and restarts its timer on re-enabling.
+class TimedSimulator {
+public:
+    TimedSimulator(const dfs::Dynamics& dynamics, TimingMap timing,
+                   tech::VoltageModel model, tech::VoltageSchedule schedule,
+                   double leakage_gates);
+
+    /// Biases free-choice control registers (no upstream controls): the
+    /// probability that the True polarity wins the race. Implemented as a
+    /// per-arrival random pick, modelling the data distribution at a
+    /// `cond` predicate.
+    void set_true_bias(double bias, std::uint64_t seed = 1);
+
+    /// Enables power-trace sampling with the given bin width.
+    void enable_power_trace(double bin_s);
+
+    /// Records every fired event with its timestamp into
+    /// TimedStats::events_log (feeds the VCD waveform exporter). Capped
+    /// at `max_events` entries to bound memory.
+    void enable_event_trace(std::size_t max_events = 1'000'000);
+
+    TimedStats run(dfs::State& state, const RunLimits& limits);
+
+private:
+    struct Pending {
+        std::uint32_t event_index;
+        double enabled_since;
+    };
+
+    const dfs::Dynamics* dynamics_;
+    TimingMap timing_;
+    tech::VoltageModel model_;
+    tech::VoltageSchedule schedule_;
+    double leakage_gates_;
+    double true_bias_ = 0.5;
+    std::uint64_t bias_seed_ = 1;
+    std::optional<double> trace_bin_s_;
+    std::optional<std::size_t> event_trace_cap_;
+
+    // Dense event table: all potential events of all nodes.
+    std::vector<dfs::Event> events_;
+    std::vector<std::uint32_t> node_event_begin_;  // per node, into events_
+    std::vector<std::vector<std::uint32_t>> affected_;  // node -> node ids
+};
+
+}  // namespace rap::asim

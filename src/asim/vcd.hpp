@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "asim/timed_sim.hpp"
+#include "dfs/model.hpp"
+
+namespace rap::asim {
+
+/// Renders a timed event log as a Value Change Dump (IEEE 1364 §18) for
+/// waveform viewers such as GTKWave — the netlist-level counterpart of
+/// Workcraft's interactive token animation. Signals:
+///  * logic node `l`     -> wire `C_l`   (evaluation state)
+///  * register `r`       -> wire `M_r`   (marking)
+///  * dynamic register   -> additional wire `T_r` (token polarity while
+///    marked; returns to 0 on unmarking)
+///
+/// `timescale_s` selects the dump's time unit (default 1 ps); event
+/// timestamps are rounded to it.
+std::string to_vcd(const dfs::Graph& graph,
+                   std::span<const TimedEvent> events,
+                   double timescale_s = 1e-12);
+
+}  // namespace rap::asim

@@ -1,0 +1,18 @@
+#include "chip/lfsr.hpp"
+
+namespace rap::chip {
+
+Lfsr::Lfsr(std::uint16_t seed) : state_(seed == 0 ? 0xACE1u : seed) {
+    // The all-zero state is the one fixed point of a Galois LFSR; the
+    // hardware maps it to a non-zero default exactly like this.
+}
+
+std::uint16_t Lfsr::next() noexcept {
+    const std::uint16_t out = state_;
+    const bool lsb = state_ & 1u;
+    state_ >>= 1;
+    if (lsb) state_ ^= 0xB400u;
+    return out;
+}
+
+}  // namespace rap::chip

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace rap::chip {
+
+/// 16-bit Galois LFSR (taps x^16 + x^14 + x^13 + x^11 + 1, maximal
+/// length) — the on-chip stimulus generator of the random mode (Fig. 8a):
+/// a user-supplied seed produces a deterministic pseudo-random stream so
+/// that performance/energy measurements exclude testbench I/O.
+class Lfsr {
+public:
+    explicit Lfsr(std::uint16_t seed);
+
+    /// Current state (the next value to be emitted).
+    std::uint16_t state() const noexcept { return state_; }
+
+    /// Emits the current value and advances.
+    std::uint16_t next() noexcept;
+
+    /// Period of the maximal-length sequence.
+    static constexpr std::uint32_t period() { return 65535; }
+
+private:
+    std::uint16_t state_;
+};
+
+}  // namespace rap::chip

@@ -1,0 +1,59 @@
+#include "dfs/dot.hpp"
+
+#include "util/dot.hpp"
+
+namespace rap::dfs {
+
+std::string to_dot(const Graph& graph) {
+    util::DotWriter dot(graph.name());
+    for (NodeId n : graph.nodes()) {
+        std::string label = graph.node_name(n);
+        std::vector<std::string> attrs;
+        switch (graph.kind(n)) {
+            case NodeKind::Logic:
+                attrs = {"shape=box", "style=rounded"};
+                break;
+            case NodeKind::Register:
+                attrs = {"shape=box", "peripheries=2"};
+                break;
+            case NodeKind::Control:
+                attrs = {"shape=box", "peripheries=2", "style=filled",
+                         "fillcolor=lightblue"};
+                break;
+            case NodeKind::Push:
+                attrs = {"shape=box", "peripheries=2", "style=filled",
+                         "fillcolor=lightsalmon"};
+                break;
+            case NodeKind::Pop:
+                attrs = {"shape=box", "peripheries=2", "style=filled",
+                         "fillcolor=lightgreen"};
+                break;
+        }
+        if (!graph.is_logic(n)) {
+            const InitialMarking& init = graph.initial(n);
+            if (init.marked) {
+                label += graph.is_dynamic(n)
+                             ? (init.token == TokenValue::True ? " [T]"
+                                                               : " [F]")
+                             : " [*]";
+            }
+        }
+        attrs.push_back("label=" + util::DotWriter::quote(label));
+        dot.add_node(graph.node_name(n), attrs);
+    }
+    for (NodeId n : graph.nodes()) {
+        for (NodeId succ : graph.postset(n)) {
+            std::vector<std::string> attrs;
+            if (graph.kind(n) == NodeKind::Control) {
+                attrs.push_back("style=dashed");
+            }
+            if (graph.is_inverted(n, succ)) {
+                attrs.push_back("arrowhead=odot");  // inverting arc
+            }
+            dot.add_edge(graph.node_name(n), graph.node_name(succ), attrs);
+        }
+    }
+    return dot.str();
+}
+
+}  // namespace rap::dfs

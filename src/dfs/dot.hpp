@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "dfs/model.hpp"
+
+namespace rap::dfs {
+
+/// Renders a DFS model in Graphviz DOT using the Fig. 2 vocabulary:
+/// plain boxes for logic, framed boxes for registers, and distinctive
+/// shades/labels for control, push and pop nodes; initially marked
+/// registers carry a token dot (●) and dynamic registers show their token
+/// polarity.
+std::string to_dot(const Graph& graph);
+
+}  // namespace rap::dfs

@@ -1,0 +1,346 @@
+#include "dfs/dynamics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rap::dfs {
+
+std::string_view to_string(EventKind kind) {
+    switch (kind) {
+        case EventKind::LogicEvaluate: return "evaluate";
+        case EventKind::LogicReset: return "reset";
+        case EventKind::Mark: return "mark";
+        case EventKind::Unmark: return "unmark";
+        case EventKind::MarkTrue: return "mark-true";
+        case EventKind::MarkFalse: return "mark-false";
+    }
+    return "?";
+}
+
+Dynamics::Dynamics(const Graph& graph) : graph_(&graph) {
+    graph.ensure_valid();
+}
+
+std::vector<Event> Dynamics::node_events(NodeId n) const {
+    switch (graph_->kind(n)) {
+        case NodeKind::Logic:
+            return {{n, EventKind::LogicEvaluate}, {n, EventKind::LogicReset}};
+        case NodeKind::Register:
+            return {{n, EventKind::Mark}, {n, EventKind::Unmark}};
+        case NodeKind::Control:
+        case NodeKind::Push:
+        case NodeKind::Pop:
+            return {{n, EventKind::MarkTrue},
+                    {n, EventKind::MarkFalse},
+                    {n, EventKind::Unmark}};
+    }
+    return {};
+}
+
+// ---------------------------------------------------------------------------
+// Structural state predicates
+// ---------------------------------------------------------------------------
+
+bool Dynamics::preset_logic_evaluated(const State& s, NodeId n) const {
+    for (NodeId k : graph_->preset(n)) {
+        if (graph_->is_logic(k) && !s.logic_evaluated(k)) return false;
+    }
+    return true;
+}
+
+bool Dynamics::preset_logic_reset(const State& s, NodeId n) const {
+    for (NodeId k : graph_->preset(n)) {
+        if (graph_->is_logic(k) && s.logic_evaluated(k)) return false;
+    }
+    return true;
+}
+
+bool Dynamics::r_preset_marked(const State& s, NodeId n) const {
+    for (NodeId q : graph_->r_preset(n)) {
+        if (!s.marked(q)) return false;
+    }
+    return true;
+}
+
+bool Dynamics::r_preset_unmarked(const State& s, NodeId n) const {
+    for (NodeId q : graph_->r_preset(n)) {
+        if (s.marked(q)) return false;
+    }
+    return true;
+}
+
+bool Dynamics::r_postset_unmarked(const State& s, NodeId n) const {
+    for (NodeId q : graph_->r_postset(n)) {
+        if (s.marked(q)) return false;
+    }
+    return true;
+}
+
+bool Dynamics::r_postset_took_token(const State& s, NodeId n) const {
+    // Eq. 4: a pop in the R-postset counts as having taken the token only
+    // when it latched while true-controlled (Mt); an Mf pop produced an
+    // unrelated empty token and must not release this register. The one
+    // exception is the pop's own *control* register: the pop latches the
+    // configuration token on either polarity, which acknowledges it —
+    // without this a False configuration token could never be returned.
+    const bool n_is_control = graph_->kind(n) == NodeKind::Control;
+    for (NodeId q : graph_->r_postset(n)) {
+        if (!s.marked(q)) return false;
+        if (graph_->kind(q) == NodeKind::Pop && !s.token_true(q)) {
+            const auto& cpre = graph_->control_preset(q);
+            const bool n_controls_q =
+                n_is_control &&
+                std::binary_search(cpre.begin(), cpre.end(), n);
+            if (!n_controls_q) return false;
+        }
+    }
+    return true;
+}
+
+bool Dynamics::r_preset_pushes_true(const State& s, NodeId n) const {
+    for (NodeId q : graph_->r_preset(n)) {
+        if (graph_->kind(q) == NodeKind::Push && !s.marked_true(*graph_, q)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool Dynamics::preset_pushes_true(const State& s, NodeId l) const {
+    for (NodeId q : graph_->preset(l)) {
+        if (graph_->kind(q) == NodeKind::Push && !s.marked_true(*graph_, q)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool Dynamics::true_controlled(const State& s, NodeId n) const {
+    const auto& controls = graph_->control_preset(n);
+    const auto& inverted = graph_->control_preset_inversion(n);
+    for (std::size_t i = 0; i < controls.size(); ++i) {
+        const NodeId c = controls[i];
+        if (!s.marked(c)) return false;
+        // Inverting arcs (Section II-B extension): the consumer observes
+        // the complement of the control token.
+        if (s.token_true(c) == inverted[i]) return false;
+    }
+    return true;
+}
+
+bool Dynamics::false_controlled(const State& s, NodeId n) const {
+    const auto& controls = graph_->control_preset(n);
+    const auto& inverted = graph_->control_preset_inversion(n);
+    if (controls.empty()) return false;
+    for (std::size_t i = 0; i < controls.size(); ++i) {
+        const NodeId c = controls[i];
+        if (!s.marked(c)) return false;
+        if (s.token_true(c) != inverted[i]) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// The set/reset equations
+// ---------------------------------------------------------------------------
+
+bool Dynamics::eval_set(const State& s, NodeId l) const {
+    // Cd↑(l), Eq. 1 + 3: preset logic evaluated, preset registers marked,
+    // and every directly-preceding push carries a real token.
+    for (NodeId k : graph_->preset(l)) {
+        if (graph_->is_logic(k)) {
+            if (!s.logic_evaluated(k)) return false;
+        } else {
+            if (!s.marked(k)) return false;
+        }
+    }
+    return preset_pushes_true(s, l);
+}
+
+bool Dynamics::eval_reset(const State& s, NodeId l) const {
+    // Cd↓(l), Eq. 1 + 3: preset logic reset, preset registers unmarked.
+    // (The push term of Eq. 3 is subsumed: an unmarked push has no token.)
+    for (NodeId k : graph_->preset(l)) {
+        if (graph_->is_logic(k)) {
+            if (s.logic_evaluated(k)) return false;
+        } else {
+            if (s.marked(k)) return false;
+        }
+    }
+    return true;
+}
+
+bool Dynamics::mark_set(const State& s, NodeId r) const {
+    // Md↑(r), Eq. 2 + 4: preset logic evaluated, R-preset marked (pushes
+    // with real tokens only), R-postset unmarked.
+    return preset_logic_evaluated(s, r) && r_preset_marked(s, r) &&
+           r_preset_pushes_true(s, r) && r_postset_unmarked(s, r);
+}
+
+bool Dynamics::mark_reset(const State& s, NodeId r) const {
+    // Md↓(r), Eq. 2 + 4: preset logic reset, R-preset unmarked, R-postset
+    // holding the propagated token (pops only when true-controlled).
+    return preset_logic_reset(s, r) && r_preset_unmarked(s, r) &&
+           r_postset_took_token(s, r);
+}
+
+// ---------------------------------------------------------------------------
+// Event enabling
+// ---------------------------------------------------------------------------
+
+bool Dynamics::is_enabled(const State& s, const Event& e) const {
+    const NodeId n = e.node;
+    switch (e.kind) {
+        case EventKind::LogicEvaluate:
+            return !s.logic_evaluated(n) && eval_set(s, n);
+        case EventKind::LogicReset:
+            return s.logic_evaluated(n) && eval_reset(s, n);
+        case EventKind::Mark:
+            assert(graph_->kind(n) == NodeKind::Register);
+            return !s.marked(n) && mark_set(s, n);
+        case EventKind::Unmark: {
+            if (!s.marked(n)) return false;
+            switch (graph_->kind(n)) {
+                case NodeKind::Register:
+                case NodeKind::Control:
+                    return mark_reset(s, n);
+                case NodeKind::Push:
+                    // A destroyed token (Mf) leaves without any R-postset
+                    // interaction; a real token behaves statically.
+                    if (s.token_true(n)) return mark_reset(s, n);
+                    return preset_logic_reset(s, n) &&
+                           r_preset_unmarked(s, n);
+                case NodeKind::Pop:
+                    // An empty token (Mf) was produced out of thin air: it
+                    // leaves when the R-postset took it and the control
+                    // preset has moved on; the data preset was never
+                    // involved.
+                    if (s.token_true(n)) return mark_reset(s, n);
+                    if (!r_postset_took_token(s, n)) return false;
+                    for (NodeId c : graph_->control_preset(n)) {
+                        if (s.marked(c)) return false;
+                    }
+                    return true;
+                case NodeKind::Logic:
+                    return false;
+            }
+            return false;
+        }
+        case EventKind::MarkTrue: {
+            if (s.marked(n)) return false;
+            switch (graph_->kind(n)) {
+                case NodeKind::Control: {
+                    if (!mark_set(s, n)) return false;
+                    // Eq. 5: copy a True token from upstream controls;
+                    // with no upstream controls the value is a free
+                    // (non-deterministic) data-dependent choice.
+                    const auto& cpre = graph_->control_preset(n);
+                    if (cpre.empty()) return true;
+                    return true_controlled(s, n);
+                }
+                case NodeKind::Push:
+                case NodeKind::Pop:
+                    // Operates as a static register when true-controlled.
+                    return true_controlled(s, n) && mark_set(s, n);
+                default:
+                    return false;
+            }
+        }
+        case EventKind::MarkFalse: {
+            if (s.marked(n)) return false;
+            switch (graph_->kind(n)) {
+                case NodeKind::Control: {
+                    if (!mark_set(s, n)) return false;
+                    const auto& cpre = graph_->control_preset(n);
+                    if (cpre.empty()) return true;
+                    return false_controlled(s, n);
+                }
+                case NodeKind::Push:
+                    // Consumes and destroys an incoming token: needs the
+                    // incoming token (preset logic evaluated, R-preset
+                    // marked with real pushes) but ignores the R-postset —
+                    // nothing will propagate.
+                    return false_controlled(s, n) &&
+                           preset_logic_evaluated(s, n) &&
+                           r_preset_marked(s, n) &&
+                           r_preset_pushes_true(s, n);
+                case NodeKind::Pop:
+                    // Produces an 'empty' token: ignores the data preset
+                    // entirely; needs only output space. The controls are
+                    // marked False by definition of false_controlled.
+                    return false_controlled(s, n) &&
+                           r_postset_unmarked(s, n);
+                default:
+                    return false;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<Event> Dynamics::enabled_events(const State& s) const {
+    std::vector<Event> out;
+    for (NodeId n : graph_->nodes()) {
+        for (const Event& e : node_events(n)) {
+            if (is_enabled(s, e)) out.push_back(e);
+        }
+    }
+    return out;
+}
+
+void Dynamics::apply(State& s, const Event& e) const {
+    assert(is_enabled(s, e));
+    switch (e.kind) {
+        case EventKind::LogicEvaluate:
+            s.set_logic(e.node, true);
+            break;
+        case EventKind::LogicReset:
+            s.set_logic(e.node, false);
+            break;
+        case EventKind::Mark:
+            s.set_marked(e.node, true, false);
+            break;
+        case EventKind::Unmark:
+            s.set_marked(e.node, false, false);
+            break;
+        case EventKind::MarkTrue:
+            s.set_marked(e.node, true, true);
+            break;
+        case EventKind::MarkFalse:
+            s.set_marked(e.node, true, false);
+            break;
+    }
+}
+
+bool Dynamics::is_deadlocked(const State& s) const {
+    for (NodeId n : graph_->nodes()) {
+        for (const Event& e : node_events(n)) {
+            if (is_enabled(s, e)) return false;
+        }
+    }
+    return true;
+}
+
+std::optional<NodeId> Dynamics::control_conflict(const State& s) const {
+    for (NodeId n : graph_->nodes()) {
+        const auto& controls = graph_->control_preset(n);
+        if (controls.size() < 2) continue;
+        const auto& inverted = graph_->control_preset_inversion(n);
+        bool all_marked = true;
+        bool saw_true = false;
+        bool saw_false = false;
+        for (std::size_t i = 0; i < controls.size(); ++i) {
+            const NodeId c = controls[i];
+            if (!s.marked(c)) {
+                all_marked = false;
+                break;
+            }
+            // Effective (post-inversion) token value.
+            (s.token_true(c) != inverted[i] ? saw_true : saw_false) = true;
+        }
+        if (all_marked && saw_true && saw_false) return n;
+    }
+    return std::nullopt;
+}
+
+}  // namespace rap::dfs

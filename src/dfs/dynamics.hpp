@@ -1,0 +1,94 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfs/model.hpp"
+#include "dfs/state.hpp"
+
+namespace rap::dfs {
+
+/// Atomic state changes of the DFS token game. Each corresponds to one
+/// signal edge of the node's state variable in the Petri-net semantics
+/// (C_l±, M_r±, Mt_r±/Mf_r±).
+enum class EventKind : std::uint8_t {
+    LogicEvaluate,  ///< C(l): 0 -> 1   (Cd↑)
+    LogicReset,     ///< C(l): 1 -> 0   (Cd↓)
+    Mark,           ///< M(r): 0 -> 1 for static registers (Md↑)
+    Unmark,         ///< M(r): 1 -> 0 (Md↓; relaxed for false push/pop)
+    MarkTrue,       ///< dynamic register latches a True/real token (Mt+)
+    MarkFalse,      ///< dynamic register latches a False token (Mf+):
+                    ///< control: False value; push: token destroyed;
+                    ///< pop: empty token produced
+};
+
+std::string_view to_string(EventKind kind);
+
+struct Event {
+    NodeId node;
+    EventKind kind = EventKind::Mark;
+    friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Executable semantics of the DFS equations (Section II, Eq. 1–5 plus the
+/// interpretation notes in DESIGN.md §2). Stateless with respect to the
+/// token game: all queries take the State explicitly, so the same Dynamics
+/// can serve the untimed simulator, the timed simulator and the verifier.
+class Dynamics {
+public:
+    explicit Dynamics(const Graph& graph);
+
+    const Graph& graph() const noexcept { return *graph_; }
+
+    /// All events a node could ever emit (used to enumerate candidates).
+    std::vector<Event> node_events(NodeId n) const;
+
+    /// Enabledness of a single event at a state.
+    bool is_enabled(const State& s, const Event& e) const;
+
+    /// All enabled events, in node order.
+    std::vector<Event> enabled_events(const State& s) const;
+
+    /// Applies an enabled event. Precondition: is_enabled(s, e).
+    void apply(State& s, const Event& e) const;
+
+    /// True iff no event is enabled — a DFS-level deadlock.
+    bool is_deadlocked(const State& s) const;
+
+    /// Control conflict (Section II-B): some node's control preset is
+    /// fully marked but carries both True and False tokens, permanently
+    /// disabling the node. Returns the first such node.
+    std::optional<NodeId> control_conflict(const State& s) const;
+
+    // -- the equations, exposed for tests and the PN translation -------
+    bool eval_set(const State& s, NodeId l) const;    ///< Cd↑(l)
+    bool eval_reset(const State& s, NodeId l) const;  ///< Cd↓(l)
+    bool mark_set(const State& s, NodeId r) const;    ///< Md↑(r)
+    bool mark_reset(const State& s, NodeId r) const;  ///< Md↓(r)
+
+    /// All control registers in n's R-preset marked True (resp. False).
+    /// Empty control preset => neither true- nor false-controlled...
+    /// except that true_controlled() treats "no controls" as vacuously
+    /// true for *static* set/reset gating (uncontrolled nodes behave
+    /// statically).
+    bool true_controlled(const State& s, NodeId n) const;
+    bool false_controlled(const State& s, NodeId n) const;
+
+private:
+    bool preset_logic_evaluated(const State& s, NodeId n) const;
+    bool preset_logic_reset(const State& s, NodeId n) const;
+    bool r_preset_marked(const State& s, NodeId n) const;
+    bool r_preset_unmarked(const State& s, NodeId n) const;
+    bool r_postset_unmarked(const State& s, NodeId n) const;
+    /// All R-postset registers marked; pops count only when Mt (Eq. 4).
+    bool r_postset_took_token(const State& s, NodeId n) const;
+    /// Every push in the R-preset carries a real token (Eq. 3/4 gating).
+    bool r_preset_pushes_true(const State& s, NodeId n) const;
+    /// Every push directly preceding logic l carries a real token (Eq. 3).
+    bool preset_pushes_true(const State& s, NodeId l) const;
+
+    const Graph* graph_;
+};
+
+}  // namespace rap::dfs

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dfs/model.hpp"
+
+namespace rap::dfs {
+
+/// Plain-text interchange format for DFS models (the library's analogue
+/// of Workcraft's .work files), line-oriented and diff-friendly:
+///
+///   dfs <model-name>
+///   logic <name>
+///   register <name> [*]            # '*' marks the initial token
+///   control <name> [T|F]           # marked with a True/False token
+///   push <name> [T|F]
+///   pop <name> [T|F]
+///   edge <from> <to> [inv]         # 'inv' = inverting control arc
+///   # comments and blank lines are ignored
+///
+/// Node lines must precede the edges that use them.
+std::string to_text(const Graph& graph);
+
+/// Parses the format above. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+Graph from_text(std::string_view text);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_file(const Graph& graph, const std::string& path);
+Graph load_file(const std::string& path);
+
+}  // namespace rap::dfs

@@ -1,0 +1,44 @@
+#include "dfs/state.hpp"
+
+namespace rap::dfs {
+
+State State::initial(const Graph& graph) {
+    State s;
+    const std::size_t n = graph.node_count();
+    s.c_base_ = 0;
+    s.m_base_ = n;
+    s.t_base_ = 2 * n;
+    s.bits_ = util::BitVec(3 * n);
+    for (NodeId r : graph.registers()) {
+        const InitialMarking& init = graph.initial(r);
+        if (!init.marked) continue;
+        const bool token =
+            graph.is_dynamic(r) ? (init.token == TokenValue::True) : false;
+        s.set_marked(r, true, token);
+    }
+    return s;
+}
+
+std::string State::describe(const Graph& graph) const {
+    std::string out = "C={";
+    bool first = true;
+    for (NodeId l : graph.logics()) {
+        if (!logic_evaluated(l)) continue;
+        if (!first) out += ", ";
+        out += graph.node_name(l);
+        first = false;
+    }
+    out += "} M={";
+    first = true;
+    for (NodeId r : graph.registers()) {
+        if (!marked(r)) continue;
+        if (!first) out += ", ";
+        out += graph.node_name(r);
+        if (graph.is_dynamic(r)) out += token_true(r) ? "=T" : "=F";
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+}  // namespace rap::dfs

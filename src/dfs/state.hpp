@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+
+#include "dfs/model.hpp"
+#include "util/bitvec.hpp"
+
+namespace rap::dfs {
+
+/// Runtime state of a DFS model:
+///  * C(l)  — evaluation state of each logic node,
+///  * M(r)  — marking of each register node,
+///  * T(r)  — latched token flag of each *dynamic* register: for control
+///    registers the token value (True/False), for push/pop whether the
+///    node was true-controlled when it latched (the paper's Mt function).
+///
+/// Invariant: T(r) == false whenever M(r) == false (cleared on unmarking),
+/// so Mt(r) = M(r) ∧ T(r) and Mf(r) = M(r) ∧ ¬T(r).
+class State {
+public:
+    State() = default;
+
+    /// Builds the initial state from the graph's initial markings; all
+    /// logic starts reset (C = 0).
+    static State initial(const Graph& graph);
+
+    bool logic_evaluated(NodeId l) const { return bits_.get(c_base_ + l.value); }
+    bool marked(NodeId r) const { return bits_.get(m_base_ + r.value); }
+    bool token_true(NodeId r) const { return bits_.get(t_base_ + r.value); }
+
+    /// Mt(r): marked and carrying a "real"/True token. Static registers
+    /// always carry real tokens, so Mt(r) == M(r) for them.
+    bool marked_true(const Graph& graph, NodeId r) const {
+        if (!marked(r)) return false;
+        return graph.is_dynamic(r) ? token_true(r) : true;
+    }
+
+    /// Mf(r): marked with a False/destroyed/empty token.
+    bool marked_false(const Graph& graph, NodeId r) const {
+        return graph.is_dynamic(r) && marked(r) && !token_true(r);
+    }
+
+    void set_logic(NodeId l, bool evaluated) {
+        bits_.set(c_base_ + l.value, evaluated);
+    }
+    void set_marked(NodeId r, bool marked, bool token = false) {
+        bits_.set(m_base_ + r.value, marked);
+        bits_.set(t_base_ + r.value, marked && token);
+    }
+
+    /// Canonical encoding for hashing / reachability sets.
+    const util::BitVec& bits() const noexcept { return bits_; }
+
+    friend bool operator==(const State& a, const State& b) noexcept {
+        return a.bits_ == b.bits_;
+    }
+
+    /// Human-readable summary: names of evaluated logic and marked
+    /// registers (with token polarity for dynamic ones).
+    std::string describe(const Graph& graph) const;
+
+private:
+    // Layout: [C for every node][M for every node][T for every node];
+    // indexing by raw node id keeps the encoding trivially stable.
+    std::size_t c_base_ = 0;
+    std::size_t m_base_ = 0;
+    std::size_t t_base_ = 0;
+    util::BitVec bits_;
+};
+
+struct StateHash {
+    std::size_t operator()(const State& s) const noexcept {
+        return s.bits().hash();
+    }
+};
+
+}  // namespace rap::dfs

@@ -1,0 +1,338 @@
+#include "dfs/translate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rap::dfs {
+namespace {
+
+/// One conjunct of a transition's enabling condition: a required value of
+/// another node's state variable, realised as a read arc on the matching
+/// place.
+struct Atom {
+    enum class Var { C, M, Mt, Mf };
+    NodeId node;
+    Var var;
+    bool value;
+};
+
+class Builder {
+public:
+    explicit Builder(const Graph& graph) : graph_(graph) {
+        graph.ensure_valid();
+        result_.net = petri::Net(graph.name() + "_pn");
+    }
+
+    Translation build() {
+        make_places();
+        for (NodeId n : graph_.nodes()) make_transitions(n);
+        return std::move(result_);
+    }
+
+private:
+    void make_places() {
+        auto& net = result_.net;
+        result_.places.resize(graph_.node_count());
+        for (NodeId n : graph_.nodes()) {
+            auto& slots = result_.places[n.value];
+            const std::string& name = graph_.node_name(n);
+            if (graph_.is_logic(n)) {
+                slots.c0 = net.add_place("C_" + name + "_0", true);
+                slots.c1 = net.add_place("C_" + name + "_1", false);
+                continue;
+            }
+            const InitialMarking& init = graph_.initial(n);
+            slots.m0 = net.add_place("M_" + name + "_0", !init.marked);
+            slots.m1 = net.add_place("M_" + name + "_1", init.marked);
+            if (graph_.is_dynamic(n)) {
+                const bool t = init.marked && init.token == TokenValue::True;
+                const bool f = init.marked && init.token == TokenValue::False;
+                slots.mt0 = net.add_place("Mt_" + name + "_0", !t);
+                slots.mt1 = net.add_place("Mt_" + name + "_1", t);
+                slots.mf0 = net.add_place("Mf_" + name + "_0", !f);
+                slots.mf1 = net.add_place("Mf_" + name + "_1", f);
+            }
+        }
+    }
+
+    petri::PlaceId place_for(const Atom& atom) const {
+        const auto& slots = result_.places[atom.node.value];
+        switch (atom.var) {
+            case Atom::Var::C: return atom.value ? slots.c1 : slots.c0;
+            case Atom::Var::M: return atom.value ? slots.m1 : slots.m0;
+            case Atom::Var::Mt: return atom.value ? slots.mt1 : slots.mt0;
+            case Atom::Var::Mf: return atom.value ? slots.mf1 : slots.mf0;
+        }
+        throw std::logic_error("bad atom");
+    }
+
+    // -- condition fragments mirroring Dynamics ------------------------
+
+    void preset_logic(std::vector<Atom>& atoms, NodeId n, bool value) const {
+        for (NodeId k : graph_.preset(n)) {
+            if (graph_.is_logic(k)) atoms.push_back({k, Atom::Var::C, value});
+        }
+    }
+
+    /// Requires q to be "marked with a real token": Mt for pushes, plain
+    /// M otherwise (Eq. 3/4 push gating).
+    void marked_real(std::vector<Atom>& atoms, NodeId q) const {
+        if (graph_.kind(q) == NodeKind::Push) {
+            atoms.push_back({q, Atom::Var::Mt, true});
+        } else {
+            atoms.push_back({q, Atom::Var::M, true});
+        }
+    }
+
+    void r_preset_marked(std::vector<Atom>& atoms, NodeId n) const {
+        for (NodeId q : graph_.r_preset(n)) marked_real(atoms, q);
+    }
+
+    void r_preset_unmarked(std::vector<Atom>& atoms, NodeId n) const {
+        for (NodeId q : graph_.r_preset(n)) {
+            atoms.push_back({q, Atom::Var::M, false});
+        }
+    }
+
+    void r_postset_unmarked(std::vector<Atom>& atoms, NodeId n) const {
+        for (NodeId q : graph_.r_postset(n)) {
+            atoms.push_back({q, Atom::Var::M, false});
+        }
+    }
+
+    /// "R-postset took the token" (Eq. 4): pops must be Mt unless `n` is
+    /// the pop's own control register.
+    void r_postset_took(std::vector<Atom>& atoms, NodeId n) const {
+        const bool n_is_control = graph_.kind(n) == NodeKind::Control;
+        for (NodeId q : graph_.r_postset(n)) {
+            if (graph_.kind(q) == NodeKind::Pop) {
+                const auto& cpre = graph_.control_preset(q);
+                const bool exempt =
+                    n_is_control &&
+                    std::binary_search(cpre.begin(), cpre.end(), n);
+                atoms.push_back(
+                    {q, exempt ? Atom::Var::M : Atom::Var::Mt, true});
+            } else {
+                atoms.push_back({q, Atom::Var::M, true});
+            }
+        }
+    }
+
+    void controlled(std::vector<Atom>& atoms, NodeId n, bool polarity) const {
+        const auto& controls = graph_.control_preset(n);
+        const auto& inverted = graph_.control_preset_inversion(n);
+        for (std::size_t i = 0; i < controls.size(); ++i) {
+            // An inverting arc swaps which marking place satisfies the
+            // required effective polarity.
+            const bool want_true = polarity != inverted[i];
+            atoms.push_back(
+                {controls[i], want_true ? Atom::Var::Mt : Atom::Var::Mf,
+                 true});
+        }
+    }
+
+    std::vector<Atom> mark_set_atoms(NodeId r) const {
+        std::vector<Atom> atoms;
+        preset_logic(atoms, r, true);
+        r_preset_marked(atoms, r);
+        r_postset_unmarked(atoms, r);
+        return atoms;
+    }
+
+    std::vector<Atom> mark_reset_atoms(NodeId r) const {
+        std::vector<Atom> atoms;
+        preset_logic(atoms, r, false);
+        r_preset_unmarked(atoms, r);
+        r_postset_took(atoms, r);
+        return atoms;
+    }
+
+    // -- transition emission --------------------------------------------
+
+    petri::TransitionId emit(const std::string& name,
+                             const std::vector<petri::PlaceId>& consume,
+                             const std::vector<petri::PlaceId>& produce,
+                             const std::vector<Atom>& atoms) {
+        auto& net = result_.net;
+        const petri::TransitionId t = net.add_transition(name);
+        for (petri::PlaceId p : consume) net.add_input_arc(p, t);
+        for (petri::PlaceId p : produce) net.add_output_arc(t, p);
+        // Read arcs: deduplicate places (an atom may coincide with a
+        // consumed place — the consume arc already implies the test).
+        std::vector<petri::PlaceId> reads;
+        for (const Atom& atom : atoms) reads.push_back(place_for(atom));
+        std::sort(reads.begin(), reads.end());
+        reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+        for (petri::PlaceId p : reads) {
+            if (std::find(consume.begin(), consume.end(), p) ==
+                consume.end()) {
+                net.add_read_arc(p, t);
+            }
+        }
+        result_.transitions_.emplace(name, t);
+        return t;
+    }
+
+    void make_transitions(NodeId n) {
+        const auto& slots = result_.places[n.value];
+        const std::string& name = graph_.node_name(n);
+        switch (graph_.kind(n)) {
+            case NodeKind::Logic: {
+                std::vector<Atom> up;
+                for (NodeId k : graph_.preset(n)) {
+                    if (graph_.is_logic(k)) {
+                        up.push_back({k, Atom::Var::C, true});
+                    } else {
+                        marked_real(up, k);
+                    }
+                }
+                emit("C_" + name + "+", {slots.c0}, {slots.c1}, up);
+
+                std::vector<Atom> down;
+                for (NodeId k : graph_.preset(n)) {
+                    if (graph_.is_logic(k)) {
+                        down.push_back({k, Atom::Var::C, false});
+                    } else {
+                        down.push_back({k, Atom::Var::M, false});
+                    }
+                }
+                emit("C_" + name + "-", {slots.c1}, {slots.c0}, down);
+                break;
+            }
+            case NodeKind::Register: {
+                emit("M_" + name + "+", {slots.m0}, {slots.m1},
+                     mark_set_atoms(n));
+                emit("M_" + name + "-", {slots.m1}, {slots.m0},
+                     mark_reset_atoms(n));
+                break;
+            }
+            case NodeKind::Control: {
+                const auto& cpre = graph_.control_preset(n);
+                auto t_atoms = mark_set_atoms(n);
+                auto f_atoms = t_atoms;
+                if (!cpre.empty()) {
+                    controlled(t_atoms, n, true);
+                    controlled(f_atoms, n, false);
+                }
+                emit("Mt_" + name + "+", {slots.m0, slots.mt0},
+                     {slots.m1, slots.mt1}, t_atoms);
+                emit("Mf_" + name + "+", {slots.m0, slots.mf0},
+                     {slots.m1, slots.mf1}, f_atoms);
+                const auto down = mark_reset_atoms(n);
+                emit("Mt_" + name + "-", {slots.m1, slots.mt1},
+                     {slots.m0, slots.mt0}, down);
+                emit("Mf_" + name + "-", {slots.m1, slots.mf1},
+                     {slots.m0, slots.mf0}, down);
+                break;
+            }
+            case NodeKind::Push: {
+                auto t_atoms = mark_set_atoms(n);
+                controlled(t_atoms, n, true);
+                emit("Mt_" + name + "+", {slots.m0, slots.mt0},
+                     {slots.m1, slots.mt1}, t_atoms);
+
+                // Mf+: consume-and-destroy — no postset atoms.
+                std::vector<Atom> f_atoms;
+                preset_logic(f_atoms, n, true);
+                r_preset_marked(f_atoms, n);
+                controlled(f_atoms, n, false);
+                emit("Mf_" + name + "+", {slots.m0, slots.mf0},
+                     {slots.m1, slots.mf1}, f_atoms);
+
+                emit("Mt_" + name + "-", {slots.m1, slots.mt1},
+                     {slots.m0, slots.mt0}, mark_reset_atoms(n));
+
+                // Mf-: the destroyed token leaves without the R-postset.
+                std::vector<Atom> f_down;
+                preset_logic(f_down, n, false);
+                r_preset_unmarked(f_down, n);
+                emit("Mf_" + name + "-", {slots.m1, slots.mf1},
+                     {slots.m0, slots.mf0}, f_down);
+                break;
+            }
+            case NodeKind::Pop: {
+                auto t_atoms = mark_set_atoms(n);
+                controlled(t_atoms, n, true);
+                emit("Mt_" + name + "+", {slots.m0, slots.mt0},
+                     {slots.m1, slots.mt1}, t_atoms);
+
+                // Mf+: self-produced empty token — only output space and
+                // False controls required.
+                std::vector<Atom> f_atoms;
+                r_postset_unmarked(f_atoms, n);
+                controlled(f_atoms, n, false);
+                emit("Mf_" + name + "+", {slots.m0, slots.mf0},
+                     {slots.m1, slots.mf1}, f_atoms);
+
+                emit("Mt_" + name + "-", {slots.m1, slots.mt1},
+                     {slots.m0, slots.mt0}, mark_reset_atoms(n));
+
+                // Mf-: leaves once taken downstream and controls moved on.
+                std::vector<Atom> f_down;
+                r_postset_took(f_down, n);
+                for (NodeId c : graph_.control_preset(n)) {
+                    f_down.push_back({c, Atom::Var::M, false});
+                }
+                emit("Mf_" + name + "-", {slots.m1, slots.mf1},
+                     {slots.m0, slots.mf0}, f_down);
+                break;
+            }
+        }
+    }
+
+    const Graph& graph_;
+    Translation result_;
+};
+
+}  // namespace
+
+petri::TransitionId Translation::transition_for(const Graph& graph,
+                                                const Event& e,
+                                                bool token_true) const {
+    const std::string& name = graph.node_name(e.node);
+    std::string key;
+    switch (e.kind) {
+        case EventKind::LogicEvaluate: key = "C_" + name + "+"; break;
+        case EventKind::LogicReset: key = "C_" + name + "-"; break;
+        case EventKind::Mark: key = "M_" + name + "+"; break;
+        case EventKind::MarkTrue: key = "Mt_" + name + "+"; break;
+        case EventKind::MarkFalse: key = "Mf_" + name + "+"; break;
+        case EventKind::Unmark:
+            if (!graph.is_dynamic(e.node)) {
+                key = "M_" + name + "-";
+            } else {
+                key = (token_true ? "Mt_" : "Mf_") + name + "-";
+            }
+            break;
+    }
+    const auto it = transitions_.find(key);
+    if (it == transitions_.end()) {
+        throw std::invalid_argument("no PN transition for event " + key);
+    }
+    return it->second;
+}
+
+petri::Marking Translation::encode(const Graph& graph, const State& s) const {
+    petri::Marking m(net.place_count());
+    for (NodeId n : graph.nodes()) {
+        const auto& slots = places[n.value];
+        if (graph.is_logic(n)) {
+            m.set((s.logic_evaluated(n) ? slots.c1 : slots.c0).value, true);
+            continue;
+        }
+        m.set((s.marked(n) ? slots.m1 : slots.m0).value, true);
+        if (graph.is_dynamic(n)) {
+            const bool t = s.marked(n) && s.token_true(n);
+            const bool f = s.marked(n) && !s.token_true(n);
+            m.set((t ? slots.mt1 : slots.mt0).value, true);
+            m.set((f ? slots.mf1 : slots.mf0).value, true);
+        }
+    }
+    return m;
+}
+
+Translation to_petri(const Graph& graph) {
+    return Builder(graph).build();
+}
+
+}  // namespace rap::dfs

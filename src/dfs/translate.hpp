@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/dynamics.hpp"
+#include "dfs/model.hpp"
+#include "dfs/state.hpp"
+#include "petri/net.hpp"
+
+namespace rap::dfs {
+
+/// Result of the Fig. 3 translation: the Petri net plus the bookkeeping
+/// needed to map DFS states/events onto markings/transitions (used by the
+/// verifier to translate counterexample traces back to DFS terms, and by
+/// the bisimulation tests).
+struct Translation {
+    petri::Net net;
+
+    /// Per node: the place ids of its variable encodings. Static nodes use
+    /// only the `m` (registers) or `c` (logic) pair; dynamic registers add
+    /// the Mt/Mf pairs of Fig. 3c.
+    struct NodePlaces {
+        petri::PlaceId c0, c1;    // logic evaluation state
+        petri::PlaceId m0, m1;    // register marking
+        petri::PlaceId mt0, mt1;  // true-token flag (dynamic only)
+        petri::PlaceId mf0, mf1;  // false-token flag (dynamic only)
+    };
+    std::vector<NodePlaces> places;  // indexed by NodeId::value
+
+    /// Maps a DFS event to its PN transition. Unmark of a dynamic register
+    /// maps to two transitions (Mt- / Mf-) selected by the current token
+    /// flag, hence the extra parameter.
+    petri::TransitionId transition_for(const Graph& graph, const Event& e,
+                                       bool token_true) const;
+
+    /// Encodes a DFS state as a PN marking (for initial-state agreement
+    /// and bisimulation checks).
+    petri::Marking encode(const Graph& graph, const State& s) const;
+
+    /// Transition lookup by the Fig. 3 naming convention ("Mt_filt+", …).
+    /// Populated by to_petri; exposed so that verification reports can
+    /// resolve names cheaply.
+    std::unordered_map<std::string, petri::TransitionId> transitions_;
+};
+
+/// Translates a (valid) DFS model into its 1-safe read-arc Petri net
+/// semantics per Section II-C. Each state variable becomes an x_0/x_1
+/// place pair with x+ / x- transitions between them; enabling conditions
+/// of the DFS equations become read arcs. Dynamic registers refine M± into
+/// the mutually exclusive Mt±/Mf± pairs.
+Translation to_petri(const Graph& graph);
+
+}  // namespace rap::dfs

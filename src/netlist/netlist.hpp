@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asim/timed_sim.hpp"
+#include "dfs/model.hpp"
+#include "netlist/library.hpp"
+
+namespace rap::netlist {
+
+/// One mapped component instance.
+struct Instance {
+    dfs::NodeId node;
+    ComponentSpec spec;
+};
+
+/// Aggregate implementation statistics (the floorplan-level numbers of
+/// Fig. 8b).
+struct NetlistStats {
+    int instances = 0;
+    int total_gates = 0;
+    double area_um2 = 0;
+    int registers = 0;
+    int control_registers = 0;
+    int pushes = 0;
+    int pops = 0;
+    int function_blocks = 0;
+};
+
+/// Direct mapping of a DFS model onto the pre-built component library
+/// (Section II-D: "directly mapping its nodes into pre-built components
+/// and connecting them according to the dataflow arcs").
+class Netlist {
+public:
+    Netlist(const dfs::Graph& graph, Library library);
+
+    const dfs::Graph& graph() const noexcept { return *graph_; }
+    const Library& library() const noexcept { return library_; }
+    const std::vector<Instance>& instances() const noexcept {
+        return instances_;
+    }
+
+    NetlistStats stats() const;
+
+    /// Timing/energy annotation for the timed simulator: each node's
+    /// per-phase delay and switching energy at nominal voltage.
+    asim::TimingMap timing() const;
+
+    /// Total equivalent gate count (for the leakage model).
+    double total_gates() const;
+
+private:
+    const dfs::Graph* graph_;
+    Library library_;
+    std::vector<Instance> instances_;
+};
+
+}  // namespace rap::netlist

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rap::netlist {
+
+/// Exports the mapped netlist as a Verilog file for the conventional
+/// backend flow (Section II-D: "exported as a Verilog netlist to be used
+/// in a conventional backend flow").
+///
+/// The output contains:
+///  * NCL threshold-gate primitives (TH12/TH22/TH33) and a C-element,
+///  * behavioural dual-rail 4-phase component modules for each library
+///    type (register, control, push, pop, function block),
+///  * completion ("ack") joins in the configured topology, and
+///  * a structural top module instantiating one component per DFS node,
+///    wired along the dataflow arcs; boundary registers (no producers /
+///    no consumers) become top-level ports.
+std::string to_verilog(const Netlist& netlist);
+
+}  // namespace rap::netlist

@@ -1,0 +1,48 @@
+#include "ope/dfs_models.hpp"
+
+#include <stdexcept>
+
+namespace rap::ope {
+
+pipeline::Pipeline build_static_ope_dfs(int stages) {
+    if (stages < 1) {
+        throw std::invalid_argument("OPE pipeline needs at least one stage");
+    }
+    std::vector<pipeline::StageOptions> options(
+        static_cast<std::size_t>(stages));
+    return pipeline::build_pipeline(
+        "ope_static_" + std::to_string(stages), options);
+}
+
+pipeline::Pipeline build_reconfigurable_ope_dfs(int stages, int depth) {
+    if (stages < min_depth()) {
+        throw std::invalid_argument(
+            "reconfigurable OPE needs at least 3 stages");
+    }
+    if (depth < min_depth() || depth > stages) {
+        throw std::invalid_argument(
+            "reconfigurable OPE depth must be in [3, stages]");
+    }
+    std::vector<pipeline::StageOptions> options;
+    options.reserve(static_cast<std::size_t>(stages));
+    for (int i = 0; i < stages; ++i) {
+        pipeline::StageOptions opt;
+        if (i == 0) {
+            // s1: always included, static style.
+            opt.reconfigurable = false;
+        } else if (i == 1) {
+            // s2: the Fig. 7 optimisation — one ring for both interfaces.
+            opt.reconfigurable = true;
+            opt.reuse_global_ring_for_local = true;
+        } else {
+            opt.reconfigurable = true;
+        }
+        opt.active = i < depth;
+        options.push_back(opt);
+    }
+    auto p = pipeline::build_pipeline(
+        "ope_reconfig_" + std::to_string(stages), options);
+    return p;
+}
+
+}  // namespace rap::ope

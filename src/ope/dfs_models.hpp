@@ -1,0 +1,25 @@
+#pragma once
+
+#include "pipeline/builder.hpp"
+
+namespace rap::ope {
+
+/// DFS model of the static OPE pipeline: `stages` identical static stages
+/// (the chip's 18-stage implementation, Fig. 8a left core).
+pipeline::Pipeline build_static_ope_dfs(int stages);
+
+/// DFS model of the reconfigurable OPE pipeline (Fig. 7): stage s1 is
+/// always included and built in the static style; s2 is reconfigurable
+/// but reuses its global control ring for the local interface (sound
+/// because s1 is static); s3..sN carry full local+global rings. The
+/// initial configuration activates the first `depth` stages.
+///
+/// The chip supports depth 3..18 — enforced here as `min_depth() <= depth
+/// <= stages`.
+pipeline::Pipeline build_reconfigurable_ope_dfs(int stages, int depth);
+
+/// Minimum depth of the reconfigurable pipeline (the chip's smallest
+/// window size).
+constexpr int min_depth() { return 3; }
+
+}  // namespace rap::ope

@@ -1,0 +1,113 @@
+#include "ope/encoder.hpp"
+
+#include <stdexcept>
+
+namespace rap::ope {
+
+std::vector<int> rank_window(std::span<const std::int64_t> window) {
+    const std::size_t n = window.size();
+    std::vector<int> ranks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        int rank = 1;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (window[j] < window[i]) ++rank;
+            if (window[j] == window[i] && j < i) ++rank;
+        }
+        ranks[i] = rank;
+    }
+    return ranks;
+}
+
+namespace {
+
+void check_window_size(int window_size) {
+    if (window_size < 1) {
+        throw std::invalid_argument("OPE window size must be positive");
+    }
+}
+
+}  // namespace
+
+ReferenceEncoder::ReferenceEncoder(int window_size)
+    : window_size_(window_size) {
+    check_window_size(window_size);
+}
+
+std::optional<std::vector<int>> ReferenceEncoder::push(std::int64_t item) {
+    window_.push_back(item);
+    if (window_.size() > static_cast<std::size_t>(window_size_)) {
+        window_.pop_front();
+    }
+    if (window_.size() < static_cast<std::size_t>(window_size_)) {
+        return std::nullopt;
+    }
+    const std::vector<std::int64_t> items(window_.begin(), window_.end());
+    return rank_window(items);
+}
+
+void ReferenceEncoder::reset() { window_.clear(); }
+
+void ReferenceEncoder::reconfigure(int window_size) {
+    check_window_size(window_size);
+    window_size_ = window_size;
+    reset();
+}
+
+PipelineEncoder::PipelineEncoder(int window_size)
+    : window_size_(window_size) {
+    check_window_size(window_size);
+}
+
+std::optional<std::vector<int>> PipelineEncoder::push(std::int64_t item) {
+    const auto n = static_cast<std::size_t>(window_size_);
+    if (window_.size() == n) {
+        // Slide out the oldest item: every rank above it drops by one.
+        const int removed_rank = ranks_.front();
+        window_.pop_front();
+        ranks_.pop_front();
+        for (int& r : ranks_) {
+            ++compare_ops_;
+            if (r > removed_rank) --r;
+        }
+    }
+
+    // The incoming item is the youngest, so equal values rank below it:
+    // its rank counts items <= it; survivors strictly above it move up.
+    // Each stage performs exactly one comparison — this is the concurrent
+    // per-stage work of the accelerator.
+    int new_rank = 1;
+    for (std::size_t j = 0; j < window_.size(); ++j) {
+        ++compare_ops_;
+        if (window_[j] <= item) {
+            ++new_rank;
+        } else {
+            ++ranks_[j];
+        }
+    }
+    window_.push_back(item);
+    ranks_.push_back(new_rank);
+
+    if (window_.size() < n) return std::nullopt;
+    return std::vector<int>(ranks_.begin(), ranks_.end());
+}
+
+void PipelineEncoder::reset() {
+    window_.clear();
+    ranks_.clear();
+}
+
+void PipelineEncoder::reconfigure(int window_size) {
+    check_window_size(window_size);
+    window_size_ = window_size;
+    reset();
+}
+
+std::uint64_t fold_checksum(std::uint64_t acc, std::span<const int> ranks) {
+    for (const int r : ranks) {
+        acc ^= static_cast<std::uint64_t>(r) + 0x9e3779b97f4a7c15ULL +
+               (acc << 6) + (acc >> 2);
+    }
+    return acc;
+}
+
+}  // namespace rap::ope

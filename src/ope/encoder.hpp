@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rap::ope {
+
+/// Rank list of one window (Section III-A): the rank of an item is the
+/// position it ends up at after sorting the window, with ties resolved by
+/// order of appearance (the paper's example ranks (3,1,4,1,5,9) as
+/// (3,1,4,2,5,6) — the first '1' ranks below the second).
+std::vector<int> rank_window(std::span<const std::int64_t> window);
+
+/// Golden behavioural model: recomputes each window's rank list from
+/// scratch. This is the "OPE behavioural model" the chip's checksums are
+/// validated against (Section IV).
+class ReferenceEncoder {
+public:
+    explicit ReferenceEncoder(int window_size);
+
+    int window_size() const noexcept { return window_size_; }
+
+    /// Feeds one item; once the window is full, returns the rank list of
+    /// the current window (oldest item first).
+    std::optional<std::vector<int>> push(std::int64_t item);
+
+    /// Clears the window (e.g. after reconfiguring the size).
+    void reset();
+
+    /// Changes the window size; clears state.
+    void reconfigure(int window_size);
+
+private:
+    int window_size_;
+    std::deque<std::int64_t> window_;
+};
+
+/// Incremental encoder mirroring the pipelined accelerator of Guo et al.
+/// [9]: the previous window's rank list is reused — sliding out the
+/// oldest item decrements the ranks above it, and the incoming item's
+/// rank is computed by the per-stage comparisons that the hardware
+/// evaluates concurrently (one comparator per pipeline stage).
+class PipelineEncoder {
+public:
+    explicit PipelineEncoder(int window_size);
+
+    int window_size() const noexcept { return window_size_; }
+
+    /// Feeds one item; returns the rank list once the window is full.
+    std::optional<std::vector<int>> push(std::int64_t item);
+
+    void reset();
+    void reconfigure(int window_size);
+
+    /// Number of stage-level compare operations performed so far — the
+    /// work metric the timed chip model charges energy for.
+    std::uint64_t compare_ops() const noexcept { return compare_ops_; }
+
+private:
+    int window_size_;
+    std::deque<std::int64_t> window_;
+    std::deque<int> ranks_;
+    std::uint64_t compare_ops_ = 0;
+};
+
+/// Checksum accumulator of the evaluation chip (Fig. 8a): folds emitted
+/// rank lists into a single word so a whole run produces one data item.
+std::uint64_t fold_checksum(std::uint64_t acc, std::span<const int> ranks);
+
+}  // namespace rap::ope

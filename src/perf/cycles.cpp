@@ -1,0 +1,122 @@
+#include "perf/cycles.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace rap::perf {
+
+std::string Cycle::describe(const dfs::Graph& graph) const {
+    std::vector<std::string> names;
+    names.reserve(nodes.size());
+    for (const dfs::NodeId n : nodes) names.push_back(graph.node_name(n));
+    return util::format("[%zu regs, %zu tokens, bound %.4f] ", registers,
+                        tokens, throughput_bound) +
+           util::join(names, " -> ");
+}
+
+std::vector<dfs::NodeId> CycleReport::bottleneck_nodes() const {
+    const Cycle* slowest = bottleneck();
+    return slowest ? slowest->nodes : std::vector<dfs::NodeId>{};
+}
+
+double CycleReport::throughput_bound() const {
+    return cycles.empty() ? 1.0 : cycles.front().throughput_bound;
+}
+
+namespace {
+
+/// Johnson-style simple cycle enumeration with caps. We use an iterative
+/// DFS with a blocked set per root; the graphs here are small (hundreds
+/// of nodes) so the simpler O(V*E*C) bound is fine.
+class CycleFinder {
+public:
+    CycleFinder(const dfs::Graph& graph, const CycleAnalysisOptions& options)
+        : graph_(graph), options_(options) {}
+
+    CycleReport run() {
+        const auto all = graph_.nodes();
+        path_.reserve(options_.max_length + 1);
+        on_path_.assign(graph_.node_count(), 0);
+        for (const dfs::NodeId root : all) {
+            if (report_.truncated) break;
+            root_ = root;
+            dfs(root);
+        }
+        std::sort(report_.cycles.begin(), report_.cycles.end(),
+                  [](const Cycle& a, const Cycle& b) {
+                      if (a.throughput_bound != b.throughput_bound) {
+                          return a.throughput_bound < b.throughput_bound;
+                      }
+                      // Slower (longer) cycles first on ties.
+                      return a.nodes.size() > b.nodes.size();
+                  });
+        return std::move(report_);
+    }
+
+private:
+    void dfs(dfs::NodeId v) {
+        if (report_.truncated) return;
+        path_.push_back(v);
+        on_path_[v.value] = 1;
+        for (const dfs::NodeId next : graph_.postset(v)) {
+            // Only consider cycles whose smallest node id is the root:
+            // each simple cycle is then found exactly once.
+            if (next < root_) continue;
+            if (next == root_) {
+                record_cycle();
+                if (report_.truncated) break;
+                continue;
+            }
+            if (on_path_[next.value] ||
+                path_.size() >= options_.max_length) {
+                continue;
+            }
+            dfs(next);
+        }
+        on_path_[v.value] = 0;
+        path_.pop_back();
+    }
+
+    void record_cycle() {
+        if (report_.cycles.size() >= options_.max_cycles) {
+            report_.truncated = true;
+            return;
+        }
+        Cycle cycle;
+        cycle.nodes = path_;
+        for (const dfs::NodeId n : path_) {
+            if (graph_.is_logic(n)) {
+                ++cycle.logics;
+            } else {
+                ++cycle.registers;
+                if (graph_.initial(n).marked) ++cycle.tokens;
+            }
+        }
+        if (cycle.registers > 0) {
+            const double bubbles_pairs = static_cast<double>(
+                (cycle.registers - cycle.tokens) / 2);
+            cycle.throughput_bound =
+                std::min(static_cast<double>(cycle.tokens), bubbles_pairs) /
+                static_cast<double>(cycle.registers);
+        }
+        report_.cycles.push_back(std::move(cycle));
+    }
+
+    const dfs::Graph& graph_;
+    CycleAnalysisOptions options_;
+    CycleReport report_;
+    dfs::NodeId root_;
+    std::vector<dfs::NodeId> path_;
+    std::vector<char> on_path_;
+};
+
+}  // namespace
+
+CycleReport analyse_cycles(const dfs::Graph& graph,
+                           CycleAnalysisOptions options) {
+    return CycleFinder(graph, options).run();
+}
+
+}  // namespace rap::perf

@@ -1,0 +1,49 @@
+#include "perf/throughput.hpp"
+
+#include "dfs/dynamics.hpp"
+#include "tech/voltage.hpp"
+
+namespace rap::perf {
+
+ThroughputResult measure_throughput(const dfs::Graph& graph,
+                                    dfs::NodeId observe,
+                                    ThroughputOptions options) {
+    const dfs::Dynamics dynamics(graph);
+    // Unit voltage model at nominal: speed factor 1 everywhere.
+    asim::TimedSimulator sim(
+        dynamics, asim::uniform_timing(graph, options.node_delay_s),
+        tech::VoltageModel{}, tech::VoltageSchedule::constant(1.2),
+        /*leakage_gates=*/0.0);
+
+    dfs::State state = dfs::State::initial(graph);
+
+    // Warmup: let the pipeline fill before timing.
+    asim::RunLimits warmup;
+    warmup.target_marks = options.warmup_tokens;
+    warmup.observe = observe;
+    warmup.max_events = options.max_events;
+    const auto w = sim.run(state, warmup);
+
+    ThroughputResult result;
+    if (w.deadlocked) {
+        result.deadlocked = true;
+        return result;
+    }
+
+    asim::RunLimits limits;
+    limits.target_marks = options.tokens;
+    limits.observe = observe;
+    limits.max_events = options.max_events;
+    const auto stats = sim.run(state, limits);
+
+    result.deadlocked = stats.deadlocked;
+    result.tokens = stats.marks_at(observe);
+    result.time_s = stats.time_s;
+    if (stats.time_s > 0) {
+        result.tokens_per_s =
+            static_cast<double>(result.tokens) / stats.time_s;
+    }
+    return result;
+}
+
+}  // namespace rap::perf

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "asim/timed_sim.hpp"
+#include "dfs/model.hpp"
+
+namespace rap::perf {
+
+/// Measured steady-state throughput of a DFS model: tokens per second at
+/// an observation register under uniform unit node delays (the dynamic
+/// counterpart of the static cycle bound — the Workcraft performance
+/// analyser reports both).
+struct ThroughputResult {
+    double tokens_per_s = 0;
+    double time_s = 0;
+    std::uint64_t tokens = 0;
+    bool deadlocked = false;
+};
+
+struct ThroughputOptions {
+    std::uint64_t tokens = 200;       ///< tokens to observe
+    std::uint64_t warmup_tokens = 20; ///< excluded from the rate
+    double node_delay_s = 1.0;        ///< uniform per-event work
+    std::uint64_t max_events = 10'000'000;
+};
+
+ThroughputResult measure_throughput(const dfs::Graph& graph,
+                                    dfs::NodeId observe,
+                                    ThroughputOptions options = {});
+
+}  // namespace rap::perf

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace rap::petri {
+
+/// Exports the net in the ASTG/.g format consumed by petrify, punf/MPSAT
+/// and Workcraft — the interchange point with the asynchronous-EDA
+/// ecosystem the paper's tool-chain plugs into. Read arcs are expanded
+/// into consume/produce self-loop pairs (the standard encoding, since .g
+/// has no native read arcs); all transitions are emitted as dummies (the
+/// net is a behavioural semantics, not a signal transition graph).
+std::string to_astg(const Net& net);
+
+}  // namespace rap::petri

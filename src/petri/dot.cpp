@@ -1,0 +1,41 @@
+#include "petri/dot.hpp"
+
+#include "util/dot.hpp"
+
+namespace rap::petri {
+
+std::string to_dot(const Net& net) {
+    util::DotWriter dot(net.name());
+    const Marking m0 = net.initial_marking();
+    for (std::uint32_t i = 0; i < net.place_count(); ++i) {
+        const PlaceId p{i};
+        std::vector<std::string> attrs = {
+            "shape=circle",
+            "label=" + util::DotWriter::quote(net.place_name(p))};
+        if (m0.get(i)) attrs.push_back("peripheries=2");
+        dot.add_node("p_" + net.place_name(p), attrs);
+    }
+    for (std::uint32_t i = 0; i < net.transition_count(); ++i) {
+        const TransitionId t{i};
+        dot.add_node("t_" + net.transition_name(t),
+                     {"shape=box",
+                      "label=" + util::DotWriter::quote(
+                                     net.transition_name(t))});
+        for (PlaceId p : net.preset(t)) {
+            dot.add_edge("p_" + net.place_name(p),
+                         "t_" + net.transition_name(t));
+        }
+        for (PlaceId p : net.postset(t)) {
+            dot.add_edge("t_" + net.transition_name(t),
+                         "p_" + net.place_name(p));
+        }
+        for (PlaceId p : net.readset(t)) {
+            dot.add_edge("p_" + net.place_name(p),
+                         "t_" + net.transition_name(t),
+                         {"style=dashed", "arrowhead=none"});
+        }
+    }
+    return dot.str();
+}
+
+}  // namespace rap::petri

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace rap::petri {
+
+/// Renders the net in Graphviz DOT: circles for places (doubled border
+/// when initially marked), boxes for transitions, dashed edges for read
+/// arcs — the textual analogue of Fig. 3/4 in the paper.
+std::string to_dot(const Net& net);
+
+}  // namespace rap::petri

@@ -1,0 +1,155 @@
+#include "petri/net.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rap::petri {
+
+PlaceId Net::add_place(std::string_view name, bool initially_marked) {
+    places_.push_back({std::string(name), initially_marked});
+    return PlaceId{static_cast<std::uint32_t>(places_.size() - 1)};
+}
+
+TransitionId Net::add_transition(std::string_view name) {
+    transitions_.push_back({std::string(name), {}, {}, {}});
+    return TransitionId{static_cast<std::uint32_t>(transitions_.size() - 1)};
+}
+
+namespace {
+
+void insert_sorted(std::vector<PlaceId>& v, PlaceId p) {
+    const auto it = std::lower_bound(v.begin(), v.end(), p);
+    if (it != v.end() && *it == p) {
+        throw std::invalid_argument("duplicate arc in Petri net");
+    }
+    v.insert(it, p);
+}
+
+}  // namespace
+
+void Net::add_input_arc(PlaceId p, TransitionId t) {
+    assert(p.value < places_.size() && t.value < transitions_.size());
+    insert_sorted(transitions_[t.value].pre, p);
+}
+
+void Net::add_output_arc(TransitionId t, PlaceId p) {
+    assert(p.value < places_.size() && t.value < transitions_.size());
+    insert_sorted(transitions_[t.value].post, p);
+}
+
+void Net::add_read_arc(PlaceId p, TransitionId t) {
+    assert(p.value < places_.size() && t.value < transitions_.size());
+    insert_sorted(transitions_[t.value].read, p);
+}
+
+std::size_t Net::arc_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& t : transitions_) {
+        n += t.pre.size() + t.post.size() + t.read.size();
+    }
+    return n;
+}
+
+const std::string& Net::place_name(PlaceId p) const {
+    return places_.at(p.value).name;
+}
+
+const std::string& Net::transition_name(TransitionId t) const {
+    return transitions_.at(t.value).name;
+}
+
+std::optional<PlaceId> Net::find_place(std::string_view name) const {
+    for (std::size_t i = 0; i < places_.size(); ++i) {
+        if (places_[i].name == name) {
+            return PlaceId{static_cast<std::uint32_t>(i)};
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<TransitionId> Net::find_transition(std::string_view name) const {
+    for (std::size_t i = 0; i < transitions_.size(); ++i) {
+        if (transitions_[i].name == name) {
+            return TransitionId{static_cast<std::uint32_t>(i)};
+        }
+    }
+    return std::nullopt;
+}
+
+const std::vector<PlaceId>& Net::preset(TransitionId t) const {
+    return transitions_.at(t.value).pre;
+}
+
+const std::vector<PlaceId>& Net::postset(TransitionId t) const {
+    return transitions_.at(t.value).post;
+}
+
+const std::vector<PlaceId>& Net::readset(TransitionId t) const {
+    return transitions_.at(t.value).read;
+}
+
+Marking Net::initial_marking() const {
+    Marking m(places_.size());
+    for (std::size_t i = 0; i < places_.size(); ++i) {
+        if (places_[i].initial) m.set(i, true);
+    }
+    return m;
+}
+
+bool Net::is_enabled(const Marking& m, TransitionId t) const {
+    const auto& tr = transitions_[t.value];
+    for (PlaceId p : tr.pre) {
+        if (!m.get(p.value)) return false;
+    }
+    for (PlaceId p : tr.read) {
+        if (!m.get(p.value)) return false;
+    }
+    // Contact-freeness for 1-safe semantics: produce-only places must be
+    // empty, otherwise the firing would lose the token count.
+    for (PlaceId p : tr.post) {
+        if (m.get(p.value) &&
+            !std::binary_search(tr.pre.begin(), tr.pre.end(), p)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void Net::fire(Marking& m, TransitionId t) const {
+    assert(is_enabled(m, t));
+    const auto& tr = transitions_[t.value];
+    for (PlaceId p : tr.pre) m.set(p.value, false);
+    for (PlaceId p : tr.post) m.set(p.value, true);
+}
+
+std::vector<TransitionId> Net::enabled_transitions(const Marking& m) const {
+    std::vector<TransitionId> out;
+    for (std::uint32_t i = 0; i < transitions_.size(); ++i) {
+        const TransitionId t{i};
+        if (is_enabled(m, t)) out.push_back(t);
+    }
+    return out;
+}
+
+bool Net::is_deadlocked(const Marking& m) const {
+    for (std::uint32_t i = 0; i < transitions_.size(); ++i) {
+        if (is_enabled(m, TransitionId{i})) return false;
+    }
+    return true;
+}
+
+std::string Net::describe_marking(const Marking& m) const {
+    std::string out = "{";
+    bool first = true;
+    for (std::size_t i = 0; i < places_.size(); ++i) {
+        if (!m.get(i)) continue;
+        if (!first) out += ", ";
+        out += places_[i].name;
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+}  // namespace rap::petri

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace rap::petri {
+
+/// Index-based handles. Strong typedefs keep place/transition spaces apart.
+struct PlaceId {
+    std::uint32_t value = UINT32_MAX;
+    friend bool operator==(PlaceId, PlaceId) = default;
+    friend auto operator<=>(PlaceId, PlaceId) = default;
+};
+
+struct TransitionId {
+    std::uint32_t value = UINT32_MAX;
+    friend bool operator==(TransitionId, TransitionId) = default;
+    friend auto operator<=>(TransitionId, TransitionId) = default;
+};
+
+/// A marking of a 1-safe net: bit i <=> place i holds a token.
+using Marking = util::BitVec;
+
+/// 1-safe Petri net with read arcs (Section II-C of the paper relies on
+/// the read-arc extension of [10] to express level-sensitive enabling).
+///
+/// Semantics implemented here ("safe enabling"): a transition is enabled
+/// iff all its consume-arcs and read-arcs point at marked places *and* all
+/// its produce-only places are unmarked (contact-freeness). The DFS
+/// translation produces nets that are structurally safe, and the
+/// reachability engine additionally asserts it dynamically.
+class Net {
+public:
+    explicit Net(std::string name = "net") : name_(std::move(name)) {}
+
+    const std::string& name() const noexcept { return name_; }
+
+    // -- construction -----------------------------------------------------
+    PlaceId add_place(std::string_view name, bool initially_marked = false);
+    TransitionId add_transition(std::string_view name);
+
+    /// Consume arc: place -> transition (token removed on firing).
+    void add_input_arc(PlaceId p, TransitionId t);
+    /// Produce arc: transition -> place (token added on firing).
+    void add_output_arc(TransitionId t, PlaceId p);
+    /// Read arc: transition tests the place without consuming.
+    void add_read_arc(PlaceId p, TransitionId t);
+
+    // -- introspection ----------------------------------------------------
+    std::size_t place_count() const noexcept { return places_.size(); }
+    std::size_t transition_count() const noexcept { return transitions_.size(); }
+    std::size_t arc_count() const noexcept;
+
+    const std::string& place_name(PlaceId p) const;
+    const std::string& transition_name(TransitionId t) const;
+
+    /// Finds a place/transition by exact name; nullopt when absent.
+    std::optional<PlaceId> find_place(std::string_view name) const;
+    std::optional<TransitionId> find_transition(std::string_view name) const;
+
+    const std::vector<PlaceId>& preset(TransitionId t) const;
+    const std::vector<PlaceId>& postset(TransitionId t) const;
+    const std::vector<PlaceId>& readset(TransitionId t) const;
+
+    // -- token game ---------------------------------------------------
+    Marking initial_marking() const;
+
+    bool is_enabled(const Marking& m, TransitionId t) const;
+
+    /// Fires an enabled transition in place. Precondition: is_enabled().
+    void fire(Marking& m, TransitionId t) const;
+
+    /// All transitions enabled at m, ascending by id.
+    std::vector<TransitionId> enabled_transitions(const Marking& m) const;
+
+    /// True iff no transition is enabled at m.
+    bool is_deadlocked(const Marking& m) const;
+
+    /// Human-readable marking: names of marked places.
+    std::string describe_marking(const Marking& m) const;
+
+private:
+    struct Place {
+        std::string name;
+        bool initial = false;
+    };
+    struct Transition {
+        std::string name;
+        std::vector<PlaceId> pre;    // consume
+        std::vector<PlaceId> post;   // produce
+        std::vector<PlaceId> read;   // test
+    };
+
+    std::string name_;
+    std::vector<Place> places_;
+    std::vector<Transition> transitions_;
+};
+
+}  // namespace rap::petri

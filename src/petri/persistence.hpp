@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "petri/reachability.hpp"
+
+namespace rap::petri {
+
+/// A persistence violation: at `marking`, `disabled` was enabled, then
+/// firing `fired` withdrew its enabling. In speed-independent circuit
+/// terms this is a potential hazard — the paper reports hunting exactly
+/// these (plus deadlocks) in the OPE DFS models.
+struct PersistenceViolation {
+    Marking marking;
+    TransitionId fired;
+    TransitionId disabled;
+    Trace trace_to_marking;
+
+    std::string to_string(const Net& net) const;
+};
+
+struct PersistenceOptions {
+    std::size_t max_states = 2'000'000;
+    /// Transition pairs for which mutual disabling is *intended* choice
+    /// (e.g. the Mt+/Mf+ pair of a control register models an input
+    /// choice, not a hazard). Returns true when the pair is exempt.
+    std::function<bool(const Net&, TransitionId, TransitionId)> exempt;
+    /// Stop at first violation (default) or collect all.
+    bool stop_at_first = true;
+};
+
+struct PersistenceResult {
+    std::size_t states_explored = 0;
+    bool truncated = false;
+    std::vector<PersistenceViolation> violations;
+
+    bool persistent() const noexcept { return violations.empty(); }
+};
+
+/// Exhaustive check of output persistence over the reachable state graph.
+PersistenceResult check_persistence(const Net& net,
+                                    PersistenceOptions options = {});
+
+}  // namespace rap::petri

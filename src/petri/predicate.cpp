@@ -1,0 +1,68 @@
+#include "petri/predicate.hpp"
+
+#include <stdexcept>
+
+namespace rap::petri {
+
+Predicate Predicate::marked(const Net& net, std::string_view place) {
+    const auto id = net.find_place(place);
+    if (!id) {
+        throw std::invalid_argument("unknown place: " + std::string(place));
+    }
+    const PlaceId p = *id;
+    return Predicate("$P\"" + std::string(place) + "\"",
+                     [p](const Net&, const Marking& m) {
+                         return m.get(p.value);
+                     });
+}
+
+Predicate Predicate::enabled(const Net& net, std::string_view transition) {
+    const auto id = net.find_transition(transition);
+    if (!id) {
+        throw std::invalid_argument("unknown transition: " +
+                                    std::string(transition));
+    }
+    const TransitionId t = *id;
+    return Predicate("@T\"" + std::string(transition) + "\"",
+                     [t](const Net& n, const Marking& m) {
+                         return n.is_enabled(m, t);
+                     });
+}
+
+Predicate Predicate::deadlock() {
+    return Predicate("DEADLOCK", [](const Net& n, const Marking& m) {
+        return n.is_deadlocked(m);
+    });
+}
+
+Predicate Predicate::custom(std::string description, Eval eval) {
+    return Predicate(std::move(description), std::move(eval));
+}
+
+Predicate Predicate::operator&&(const Predicate& rhs) const {
+    auto lhs_eval = eval_;
+    auto rhs_eval = rhs.eval_;
+    return Predicate("(" + description_ + " & " + rhs.description_ + ")",
+                     [lhs_eval, rhs_eval](const Net& n, const Marking& m) {
+                         return lhs_eval(n, m) && rhs_eval(n, m);
+                     });
+}
+
+Predicate Predicate::operator||(const Predicate& rhs) const {
+    auto lhs_eval = eval_;
+    auto rhs_eval = rhs.eval_;
+    return Predicate("(" + description_ + " | " + rhs.description_ + ")",
+                     [lhs_eval, rhs_eval](const Net& n, const Marking& m) {
+                         return lhs_eval(n, m) || rhs_eval(n, m);
+                     });
+}
+
+Predicate Predicate::operator!() const {
+    auto inner = eval_;
+    return Predicate("~" + description_,
+                     [inner](const Net& n, const Marking& m) {
+                         return !inner(n, m);
+                     });
+}
+
+}  // namespace rap::petri

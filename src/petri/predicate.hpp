@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace rap::petri {
+
+/// Reach-style property language [Khomenko, CS-TR-1140] over markings.
+///
+/// MPSAT accepts reachability predicates written in the Reach language;
+/// our explicit-state engine accepts the same logical shapes as a small
+/// combinator tree: marked(p), enabled(t), boolean connectives. A property
+/// is *violated* when a reachable marking satisfies the predicate — the
+/// checker then reports that marking and a firing trace to it.
+class Predicate {
+public:
+    using Eval = std::function<bool(const Net&, const Marking&)>;
+
+    Predicate(std::string description, Eval eval)
+        : description_(std::move(description)), eval_(std::move(eval)) {}
+
+    bool operator()(const Net& net, const Marking& m) const {
+        return eval_(net, m);
+    }
+
+    const std::string& description() const noexcept { return description_; }
+
+    // -- atoms --------------------------------------------------------
+    /// True when the named place is marked. Throws if the place is absent.
+    static Predicate marked(const Net& net, std::string_view place);
+
+    /// True when the transition is enabled at the marking.
+    static Predicate enabled(const Net& net, std::string_view transition);
+
+    /// True when no transition is enabled (deadlock).
+    static Predicate deadlock();
+
+    /// Escape hatch for custom atoms.
+    static Predicate custom(std::string description, Eval eval);
+
+    // -- connectives ----------------------------------------------------
+    Predicate operator&&(const Predicate& rhs) const;
+    Predicate operator||(const Predicate& rhs) const;
+    Predicate operator!() const;
+
+private:
+    std::string description_;
+    Eval eval_;
+};
+
+}  // namespace rap::petri

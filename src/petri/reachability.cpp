@@ -1,0 +1,117 @@
+#include "petri/reachability.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace rap::petri {
+
+std::string Trace::to_string(const Net& net) const {
+    std::vector<std::string> names;
+    names.reserve(firings.size());
+    for (TransitionId t : firings) names.push_back(net.transition_name(t));
+    return util::join(names, " -> ");
+}
+
+ReachabilityExplorer::ReachabilityExplorer(const Net& net,
+                                           ReachabilityOptions options)
+    : net_(net), options_(options) {}
+
+ReachabilityResult ReachabilityExplorer::find(const Predicate& goal) {
+    return run(&goal, /*collect_deadlocks=*/false);
+}
+
+ReachabilityResult ReachabilityExplorer::find_deadlocks() {
+    return run(nullptr, /*collect_deadlocks=*/true);
+}
+
+ReachabilityResult ReachabilityExplorer::explore_all() {
+    return run(nullptr, /*collect_deadlocks=*/false);
+}
+
+std::size_t ReachabilityExplorer::count_states() {
+    return explore_all().states_explored;
+}
+
+ReachabilityResult ReachabilityExplorer::run(const Predicate* goal,
+                                             bool collect_deadlocks) {
+    ReachabilityResult result;
+    order_.clear();
+    meta_.clear();
+
+    std::unordered_map<Marking, std::size_t, util::BitVecHash> seen;
+    std::deque<std::size_t> frontier;
+
+    const Marking m0 = net_.initial_marking();
+    order_.push_back(m0);
+    meta_.push_back({-1, TransitionId{}});
+    seen.emplace(m0, 0);
+    frontier.push_back(0);
+
+    auto check = [&](std::size_t index) -> bool {
+        const Marking& m = order_[index];
+        if (goal && (*goal)(net_, m)) {
+            result.witness = m;
+            result.witness_trace = rebuild_trace(index);
+            return options_.stop_at_first_match;
+        }
+        if (collect_deadlocks && net_.is_deadlocked(m)) {
+            result.deadlocks.push_back(m);
+            if (!result.witness) {
+                result.witness = m;
+                result.witness_trace = rebuild_trace(index);
+            }
+        }
+        return false;
+    };
+
+    if (check(0)) {
+        result.states_explored = 1;
+        return result;
+    }
+
+    while (!frontier.empty() && !result.truncated) {
+        const std::size_t index = frontier.front();
+        frontier.pop_front();
+        const Marking current = order_[index];
+
+        for (TransitionId t : net_.enabled_transitions(current)) {
+            Marking next = current;
+            net_.fire(next, t);
+            ++result.edges_explored;
+            if (seen.contains(next)) continue;
+            if (order_.size() >= options_.max_states) {
+                result.truncated = true;
+                break;
+            }
+            seen.emplace(next, order_.size());
+            order_.push_back(std::move(next));
+            meta_.push_back({static_cast<std::int64_t>(index), t});
+            frontier.push_back(order_.size() - 1);
+            if (check(order_.size() - 1)) {
+                result.states_explored = order_.size();
+                return result;
+            }
+        }
+    }
+
+    result.states_explored = order_.size();
+    return result;
+}
+
+Trace ReachabilityExplorer::rebuild_trace(std::size_t index) const {
+    Trace trace;
+    std::int64_t cursor = static_cast<std::int64_t>(index);
+    while (cursor > 0) {
+        const Visit& v = meta_[static_cast<std::size_t>(cursor)];
+        trace.firings.push_back(v.via);
+        cursor = v.parent;
+    }
+    std::reverse(trace.firings.begin(), trace.firings.end());
+    return trace;
+}
+
+}  // namespace rap::petri

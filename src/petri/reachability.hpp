@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "petri/predicate.hpp"
+
+namespace rap::petri {
+
+/// A firing sequence from the initial marking, used as counterexample
+/// witness (what MPSAT prints as a violation trace).
+struct Trace {
+    std::vector<TransitionId> firings;
+
+    std::string to_string(const Net& net) const;
+};
+
+struct ReachabilityOptions {
+    /// Exploration stops (with `truncated = true`) beyond this many states.
+    std::size_t max_states = 2'000'000;
+    /// When set, exploration stops at the first marking satisfying the
+    /// goal predicate instead of exhausting the state space.
+    bool stop_at_first_match = true;
+};
+
+struct ReachabilityResult {
+    std::size_t states_explored = 0;
+    std::size_t edges_explored = 0;
+    bool truncated = false;
+
+    /// Set when a goal predicate was supplied and matched.
+    std::optional<Marking> witness;
+    std::optional<Trace> witness_trace;
+
+    /// All deadlocked markings found (populated by find_deadlocks /
+    /// explore-with-deadlock-goal).
+    std::vector<Marking> deadlocks;
+
+    bool found() const noexcept { return witness.has_value(); }
+};
+
+/// Explicit-state breadth-first reachability over 1-safe nets.
+///
+/// BFS (rather than DFS) keeps witness traces shortest, which matters for
+/// debuggability of DFS model bugs — the paper reports hand-analysing such
+/// traces during the OPE design.
+class ReachabilityExplorer {
+public:
+    explicit ReachabilityExplorer(const Net& net,
+                                  ReachabilityOptions options = {});
+
+    /// Searches for a marking satisfying `goal`.
+    ReachabilityResult find(const Predicate& goal);
+
+    /// Exhaustively explores and collects every deadlocked marking
+    /// (respecting max_states).
+    ReachabilityResult find_deadlocks();
+
+    /// Exhaustively explores; returns state/edge counts only.
+    ReachabilityResult explore_all();
+
+    /// Number of distinct reachable markings (convenience over explore_all).
+    std::size_t count_states();
+
+private:
+    struct Visit {
+        std::int64_t parent;       // index into visit order, -1 for root
+        TransitionId via;          // transition fired from parent
+    };
+
+    ReachabilityResult run(const Predicate* goal, bool collect_deadlocks);
+    Trace rebuild_trace(std::size_t index) const;
+
+    const Net& net_;
+    ReachabilityOptions options_;
+    std::vector<Marking> order_;
+    std::vector<Visit> meta_;
+};
+
+}  // namespace rap::petri

@@ -1,0 +1,139 @@
+#include "pipeline/builder.hpp"
+
+#include <stdexcept>
+
+namespace rap::pipeline {
+
+using dfs::Graph;
+using dfs::NodeId;
+using dfs::TokenValue;
+
+ControlRing add_control_ring(Graph& graph, const std::string& prefix,
+                             TokenValue polarity) {
+    ControlRing ring;
+    ring.head = graph.add_control(prefix + "_c1", true, polarity);
+    ring.mid = graph.add_control(prefix + "_c2", false, polarity);
+    ring.tail = graph.add_control(prefix + "_c3", false, polarity);
+    graph.connect(ring.head, ring.mid);
+    graph.connect(ring.mid, ring.tail);
+    graph.connect(ring.tail, ring.head);
+    return ring;
+}
+
+void reset_ring(Graph& graph, const ControlRing& ring, TokenValue polarity) {
+    graph.set_initial(ring.head, true, polarity);
+    graph.set_initial(ring.mid, false, polarity);
+    graph.set_initial(ring.tail, false, polarity);
+}
+
+int Pipeline::active_depth() const {
+    int depth = 0;
+    for (const auto& stage : stages) {
+        if (!stage.reconfigurable) {
+            ++depth;
+            continue;
+        }
+        const auto& init = graph.initial(stage.global_ring.head);
+        if (init.marked && init.token == TokenValue::True) {
+            ++depth;
+        } else {
+            break;
+        }
+    }
+    return depth;
+}
+
+Pipeline build_pipeline(const std::string& name,
+                        const std::vector<StageOptions>& options) {
+    if (options.empty()) {
+        throw std::invalid_argument("pipeline needs at least one stage");
+    }
+    Pipeline p{Graph(name), {}, {}, {}, {}};
+    Graph& g = p.graph;
+    p.in = g.add_register("in");
+
+    NodeId prev_local = p.in;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+        const StageOptions& opt = options[i];
+        const std::string s = "s" + std::to_string(i + 1);
+        Stage stage;
+        stage.reconfigurable = opt.reconfigurable;
+        const TokenValue polarity =
+            opt.active ? TokenValue::True : TokenValue::False;
+
+        if (opt.reconfigurable) {
+            stage.global_ring = add_control_ring(g, s + "_gctrl", polarity);
+            stage.rings.push_back(stage.global_ring);
+            if (opt.reuse_global_ring_for_local) {
+                stage.local_ring = stage.global_ring;
+            } else {
+                stage.local_ring = add_control_ring(g, s + "_lctrl", polarity);
+                stage.rings.push_back(stage.local_ring);
+            }
+            stage.local_in = g.add_push(s + "_local_in");
+            stage.global_in = g.add_push(s + "_global_in");
+            stage.global_out = g.add_pop(s + "_global_out");
+            g.connect(stage.local_ring.head, stage.local_in);
+            g.connect(stage.global_ring.head, stage.global_in);
+            g.connect(stage.global_ring.head, stage.global_out);
+        } else {
+            stage.local_in = g.add_register(s + "_local_in");
+            stage.global_in = g.add_register(s + "_global_in");
+            stage.global_out = g.add_register(s + "_global_out");
+        }
+        stage.f = g.add_logic(s + "_f");
+        stage.local_out = g.add_register(s + "_local_out");
+        stage.g = g.add_logic(s + "_g");
+
+        // Local channel: previous stage (or the common input) feeds the
+        // stage function f, whose result is held in local_out.
+        g.connect(prev_local, stage.local_in);
+        g.connect(stage.local_in, stage.f);
+        g.connect(stage.f, stage.local_out);
+
+        // Global channel: the broadcast input pairs with local_out in g.
+        g.connect(p.in, stage.global_in);
+        g.connect(stage.local_out, stage.g);
+        g.connect(stage.global_in, stage.g);
+        g.connect(stage.g, stage.global_out);
+
+        prev_local = stage.local_out;
+        p.stages.push_back(stage);
+    }
+
+    // Output aggregation: one logic node joining every stage's global_out
+    // into the common output register (bypassed stages contribute the
+    // empty tokens their pops produce).
+    p.agg = g.add_logic("agg");
+    for (const Stage& stage : p.stages) {
+        g.connect(stage.global_out, p.agg);
+    }
+    p.out = g.add_register("out");
+    g.connect(p.agg, p.out);
+    return p;
+}
+
+void set_depth(Pipeline& pipeline, int depth) {
+    if (depth < 1 || depth > static_cast<int>(pipeline.stages.size())) {
+        throw std::invalid_argument("set_depth: depth out of range");
+    }
+    for (std::size_t i = 0; i < pipeline.stages.size(); ++i) {
+        Stage& stage = pipeline.stages[i];
+        const bool active = static_cast<int>(i) < depth;
+        if (!stage.reconfigurable) {
+            if (!active) {
+                throw std::invalid_argument(
+                    "set_depth: stage s" + std::to_string(i + 1) +
+                    " is static and cannot be bypassed");
+            }
+            continue;
+        }
+        const TokenValue polarity =
+            active ? TokenValue::True : TokenValue::False;
+        for (const ControlRing& ring : stage.rings) {
+            reset_ring(pipeline.graph, ring, polarity);
+        }
+    }
+}
+
+}  // namespace rap::pipeline

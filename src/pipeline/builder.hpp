@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfs/model.hpp"
+
+namespace rap::pipeline {
+
+/// A 3-register control loop — the minimum number of registers for a
+/// token oscillation (Section III). The loop register `head` is the one
+/// wired to the controlled push/pop nodes.
+struct ControlRing {
+    dfs::NodeId head, mid, tail;
+};
+
+/// Adds a control ring carrying one token of the given polarity (True =
+/// stage included, False = stage bypassed), with `head` initially marked.
+ControlRing add_control_ring(dfs::Graph& graph, const std::string& prefix,
+                             dfs::TokenValue polarity);
+
+/// Re-initialises a ring to carry a single token of the given polarity in
+/// its head register (used by set_depth and by tests that seed buggy
+/// initialisations).
+void reset_ring(dfs::Graph& graph, const ControlRing& ring,
+                dfs::TokenValue polarity);
+
+/// Handles to one pipeline stage (Fig. 6b/6c).
+struct Stage {
+    bool reconfigurable = false;
+    dfs::NodeId local_in;    ///< register (static) or push (reconfigurable)
+    dfs::NodeId f;           ///< stage function on the local channel
+    dfs::NodeId local_out;   ///< static register
+    dfs::NodeId global_in;   ///< register (static) or push (reconfigurable)
+    dfs::NodeId g;           ///< pairing function on the global channel
+    dfs::NodeId global_out;  ///< register (static) or pop (reconfigurable)
+    /// Control rings; absent for static stages. When the stage reuses the
+    /// global ring for its local interface (the s2 optimisation of
+    /// Fig. 7), local_ring == global_ring.
+    std::vector<ControlRing> rings;
+    ControlRing local_ring{};
+    ControlRing global_ring{};
+};
+
+/// Per-stage build options.
+struct StageOptions {
+    bool reconfigurable = false;
+    /// Initial configuration token for reconfigurable stages.
+    bool active = true;
+    /// Fig. 7 s2 optimisation: drive the local interface from the global
+    /// control ring instead of a dedicated local ring. Only sound when
+    /// the *previous* stage is always included (static).
+    bool reuse_global_ring_for_local = false;
+};
+
+/// A generic N-stage pipeline with local and global channels (Fig. 6a):
+/// stage-to-stage local channels plus a common input `in` broadcast to
+/// every stage and an aggregated output `out`.
+struct Pipeline {
+    dfs::Graph graph;
+    dfs::NodeId in;   ///< common input register
+    dfs::NodeId agg;  ///< output aggregation logic
+    dfs::NodeId out;  ///< aggregated output register
+    std::vector<Stage> stages;
+
+    /// Number of stages whose configuration token is currently True
+    /// (static stages always count).
+    int active_depth() const;
+};
+
+/// Builds the pipeline. `options[i]` describes stage i (0-based in code,
+/// stage s{i+1} in names).
+Pipeline build_pipeline(const std::string& name,
+                        const std::vector<StageOptions>& options);
+
+/// Reconfigures the pipeline to use the first `depth` stages: rings of
+/// stages < depth get True tokens, the rest False. Throws if `depth`
+/// asks a static (always-on) stage to be bypassed or exceeds the stage
+/// count. This models writing the chip's `config` input between runs —
+/// reconfiguration happens at the model's initialisation boundary.
+void set_depth(Pipeline& pipeline, int depth);
+
+}  // namespace rap::pipeline

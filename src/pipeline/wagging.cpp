@@ -1,0 +1,71 @@
+#include "pipeline/wagging.hpp"
+
+namespace rap::pipeline {
+
+using dfs::Graph;
+using dfs::NodeId;
+using dfs::TokenValue;
+
+AlternatingRing add_alternating_ring(Graph& graph,
+                                     const std::string& prefix) {
+    AlternatingRing ring;
+    for (int i = 0; i < 6; ++i) {
+        // Tokens at positions 0 (True) and 3 (False): each is trailed by
+        // two bubbles, the spacing a token needs to advance.
+        const bool marked = (i == 0) || (i == 3);
+        const TokenValue polarity =
+            i == 0 ? TokenValue::True : TokenValue::False;
+        ring.regs[i] = graph.add_control(
+            prefix + "_c" + std::to_string(i + 1), marked, polarity);
+    }
+    for (int i = 0; i < 6; ++i) {
+        graph.connect(ring.regs[i], ring.regs[(i + 1) % 6]);
+    }
+    return ring;
+}
+
+WaggingStage add_wagging_stage(Graph& graph, const std::string& prefix,
+                               NodeId input) {
+    WaggingStage w;
+    w.distributor = add_alternating_ring(graph, prefix + "_dist");
+    w.collector = add_alternating_ring(graph, prefix + "_coll");
+
+    w.push_a = graph.add_push(prefix + "_push_a");
+    w.push_b = graph.add_push(prefix + "_push_b");
+    w.f_a = graph.add_logic(prefix + "_f_a");
+    w.f_b = graph.add_logic(prefix + "_f_b");
+    w.reg_a = graph.add_register(prefix + "_reg_a");
+    w.reg_b = graph.add_register(prefix + "_reg_b");
+    w.pop_a = graph.add_pop(prefix + "_pop_a");
+    w.pop_b = graph.add_pop(prefix + "_pop_b");
+    w.merge = graph.add_logic(prefix + "_merge");
+    w.out = graph.add_register(prefix + "_out");
+
+    // Distribution: both branches see every input token; the branch whose
+    // effective control is False consumes-and-destroys its copy, so the
+    // two function copies process alternating items.
+    graph.connect(input, w.push_a);
+    graph.connect(input, w.push_b);
+    graph.connect(w.distributor.head(), w.push_a);
+    graph.connect_inverted(w.distributor.head(), w.push_b);
+
+    graph.connect(w.push_a, w.f_a);
+    graph.connect(w.f_a, w.reg_a);
+    graph.connect(w.push_b, w.f_b);
+    graph.connect(w.f_b, w.reg_b);
+
+    // Collection: the on-turn branch's pop forwards the real result; the
+    // off-turn one emits the empty placeholder, and the merge joins them
+    // into one output token per input token, in order.
+    graph.connect(w.reg_a, w.pop_a);
+    graph.connect(w.reg_b, w.pop_b);
+    graph.connect(w.collector.head(), w.pop_a);
+    graph.connect_inverted(w.collector.head(), w.pop_b);
+
+    graph.connect(w.pop_a, w.merge);
+    graph.connect(w.pop_b, w.merge);
+    graph.connect(w.merge, w.out);
+    return w;
+}
+
+}  // namespace rap::pipeline

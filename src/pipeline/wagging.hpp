@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "pipeline/builder.hpp"
+
+namespace rap::pipeline {
+
+/// An alternating control ring: six control registers carrying one True
+/// and one False token three positions apart, so the head register
+/// presents alternating polarities to its consumers — the token-level
+/// "phase generator" behind wagging.
+struct AlternatingRing {
+    dfs::NodeId regs[6];
+    dfs::NodeId head() const { return regs[0]; }
+};
+
+AlternatingRing add_alternating_ring(dfs::Graph& graph,
+                                     const std::string& prefix);
+
+/// Handles to a 2-way wagging stage [Brej, ACSD'10; mentioned as an
+/// advanced optimisation in Section II-D]. The slow function `f` is
+/// duplicated; a distributor steers odd/even tokens into the two copies
+/// (the off branch's push destroys its broadcast copy) and a collector
+/// merges them back in order (the off branch's pop emits the empty
+/// placeholder). Built entirely from DFS primitives plus inverting arcs.
+struct WaggingStage {
+    AlternatingRing distributor;
+    AlternatingRing collector;
+    dfs::NodeId push_a, push_b;  ///< branch entries
+    dfs::NodeId f_a, f_b;        ///< the duplicated function
+    dfs::NodeId reg_a, reg_b;    ///< branch result registers
+    dfs::NodeId pop_a, pop_b;    ///< branch exits
+    dfs::NodeId merge;           ///< merging logic
+    dfs::NodeId out;             ///< merged output register
+};
+
+/// Appends a 2-way wagging stage consuming tokens from `input`.
+WaggingStage add_wagging_stage(dfs::Graph& graph, const std::string& prefix,
+                               dfs::NodeId input);
+
+}  // namespace rap::pipeline

@@ -1,0 +1,100 @@
+#include "tech/voltage.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rap::tech {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+VoltageModel::VoltageModel(ProcessParams params) : params_(params) {
+    if (params_.v_nominal <= params_.v_freeze) {
+        throw std::invalid_argument("nominal voltage must exceed v_freeze");
+    }
+    norm_ = std::pow(params_.v_nominal - params_.v_freeze, params_.alpha) /
+            params_.v_nominal;
+}
+
+double VoltageModel::speed_factor(double v) const {
+    if (v <= params_.v_freeze) return 0.0;
+    return std::pow(v - params_.v_freeze, params_.alpha) / v / norm_;
+}
+
+double VoltageModel::energy_factor(double v) const {
+    const double r = v / params_.v_nominal;
+    return r * r;
+}
+
+double VoltageModel::leakage_power(double v, double gates) const {
+    if (v <= 0) return 0.0;
+    const double r = v / params_.v_nominal;
+    return params_.leakage_per_gate_w * gates * r * r * r;
+}
+
+VoltageSchedule VoltageSchedule::constant(double v) {
+    VoltageSchedule s;
+    s.add_segment(1.0, v);  // the last segment holds forever
+    return s;
+}
+
+void VoltageSchedule::add_segment(double duration_s, double v) {
+    if (duration_s <= 0) {
+        throw std::invalid_argument("segment duration must be positive");
+    }
+    segments_.push_back({cursor_, v});
+    cursor_ += duration_s;
+}
+
+double VoltageSchedule::voltage_at(double t) const {
+    double v = 0.0;
+    for (const Segment& s : segments_) {
+        if (s.start > t) break;
+        v = s.voltage;
+    }
+    return v;
+}
+
+double VoltageSchedule::finish_time(const VoltageModel& model, double t0,
+                                    double work) const {
+    if (work <= 0) return t0;
+    double remaining = work;
+    double t = t0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const double seg_end = (i + 1 < segments_.size())
+                                   ? segments_[i + 1].start
+                                   : kInf;
+        if (seg_end <= t) continue;
+        const double rate = model.speed_factor(segments_[i].voltage);
+        const double span = seg_end - t;
+        if (rate > 0) {
+            const double need = remaining / rate;
+            if (need <= span) return t + need;
+            remaining -= span * rate;
+        }
+        t = seg_end;
+        if (t == kInf) break;
+    }
+    return kInf;  // frozen in the trailing segment
+}
+
+double VoltageSchedule::leakage_energy(const VoltageModel& model,
+                                       double gates, double t0,
+                                       double t1) const {
+    if (t1 <= t0) return 0.0;
+    double energy = 0.0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        const double seg_start = segments_[i].start;
+        const double seg_end =
+            (i + 1 < segments_.size()) ? segments_[i + 1].start : kInf;
+        const double lo = std::max(seg_start, t0);
+        const double hi = std::min(seg_end, t1);
+        if (hi <= lo) continue;
+        energy += model.leakage_power(segments_[i].voltage, gates) * (hi - lo);
+    }
+    return energy;
+}
+
+}  // namespace rap::tech

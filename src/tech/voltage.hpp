@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+namespace rap::tech {
+
+/// Parameters of the 90nm-like low-power CMOS process model standing in
+/// for the paper's TSMC 90nm silicon. The delay model is an alpha-power
+/// law anchored at the freeze voltage: the paper observes the chip
+/// operating down to 0.34V, freezing there (no progress, leakage only)
+/// and recovering when the supply rises — exactly the behaviour
+/// speed_factor() reproduces.
+struct ProcessParams {
+    double v_nominal = 1.2;   ///< nominal supply [V]
+    double v_freeze = 0.34;   ///< no forward progress at or below this [V]
+    double v_max = 1.6;       ///< absolute maximum rating [V]
+    double alpha = 2.0;       ///< alpha-power-law exponent (near-threshold fit)
+    /// Leakage power per gate at the nominal voltage [W]; scales ~V^3
+    /// (subthreshold + DIBL lump).
+    double leakage_per_gate_w = 2.75e-10;
+};
+
+/// Voltage-dependent speed/energy/leakage scaling.
+class VoltageModel {
+public:
+    explicit VoltageModel(ProcessParams params = {});
+
+    const ProcessParams& params() const noexcept { return params_; }
+
+    /// Relative logic speed: 1.0 at nominal, 0 at or below v_freeze,
+    /// > 1 above nominal. speed = k * (V - v_freeze)^alpha / V.
+    double speed_factor(double v) const;
+
+    /// Relative dynamic energy per switching event: (V / v_nominal)^2.
+    double energy_factor(double v) const;
+
+    /// Static (leakage) power of `gates` equivalent gates at voltage v.
+    double leakage_power(double v, double gates) const;
+
+private:
+    ProcessParams params_;
+    double norm_;  // normalisation so speed_factor(v_nominal) == 1
+};
+
+/// Piecewise-constant supply-voltage schedule, built by appending
+/// segments. The last appended segment's voltage holds forever (its
+/// duration only positions any further segments); an empty schedule is
+/// 0V everywhere (frozen).
+class VoltageSchedule {
+public:
+    /// A flat schedule at voltage v.
+    static VoltageSchedule constant(double v);
+
+    /// Appends a segment of `duration_s` seconds at voltage `v` after the
+    /// previously appended segments.
+    void add_segment(double duration_s, double v);
+
+    double voltage_at(double t) const;
+
+    /// Time at which an amount of `work` (expressed in nominal-speed
+    /// seconds) completes when started at time t0, integrating the speed
+    /// factor across segments. Returns +inf if the supply never recovers
+    /// above the freeze voltage for long enough.
+    double finish_time(const VoltageModel& model, double t0,
+                       double work) const;
+
+    /// Leakage energy dissipated by `gates` between t0 and t1.
+    double leakage_energy(const VoltageModel& model, double gates, double t0,
+                          double t1) const;
+
+private:
+    struct Segment {
+        double start;
+        double voltage;
+    };
+    // Sorted by start; first segment (if any) starts at 0.
+    std::vector<Segment> segments_;
+    double cursor_ = 0.0;  // end time of the last appended segment
+};
+
+}  // namespace rap::tech

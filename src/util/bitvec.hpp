@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rap::util {
+
+/// Compact dynamically-sized bit vector used as the canonical encoding of
+/// model states (Petri-net markings, DFS node states) inside reachability
+/// sets. Provides hashing and total ordering so it can key hash maps.
+class BitVec {
+public:
+    BitVec() = default;
+    explicit BitVec(std::size_t bits);
+
+    std::size_t size() const noexcept { return bits_; }
+    bool empty() const noexcept { return bits_ == 0; }
+
+    bool get(std::size_t i) const noexcept;
+    void set(std::size_t i, bool value) noexcept;
+    void flip(std::size_t i) noexcept;
+
+    /// Number of set bits.
+    std::size_t count() const noexcept;
+
+    /// True iff no bit is set.
+    bool none() const noexcept;
+
+    /// Resets all bits to zero, keeping the size.
+    void clear() noexcept;
+
+    /// Indices of all set bits, ascending.
+    std::vector<std::size_t> ones() const;
+
+    /// FNV-1a over the payload words; stable across runs.
+    std::size_t hash() const noexcept;
+
+    /// "0101…" rendering, index 0 first — handy in failure messages.
+    std::string to_string() const;
+
+    friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+        return a.bits_ == b.bits_ && a.words_ == b.words_;
+    }
+    friend bool operator!=(const BitVec& a, const BitVec& b) noexcept {
+        return !(a == b);
+    }
+    friend bool operator<(const BitVec& a, const BitVec& b) noexcept {
+        if (a.bits_ != b.bits_) return a.bits_ < b.bits_;
+        return a.words_ < b.words_;
+    }
+
+private:
+    static constexpr std::size_t kWordBits = 64;
+    std::size_t bits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+struct BitVecHash {
+    std::size_t operator()(const BitVec& v) const noexcept { return v.hash(); }
+};
+
+}  // namespace rap::util

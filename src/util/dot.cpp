@@ -1,0 +1,45 @@
+#include "util/dot.hpp"
+
+#include "util/strings.hpp"
+
+namespace rap::util {
+
+DotWriter::DotWriter(std::string_view graph_name, bool directed) {
+    header_ = std::string(directed ? "digraph " : "graph ") +
+              identifier(graph_name) + " {";
+}
+
+void DotWriter::add_node(std::string_view id,
+                         const std::vector<std::string>& attrs) {
+    std::string line = "  " + identifier(id);
+    if (!attrs.empty()) line += " [" + join(attrs, ", ") + "]";
+    line += ";";
+    lines_.push_back(std::move(line));
+}
+
+void DotWriter::add_edge(std::string_view from, std::string_view to,
+                         const std::vector<std::string>& attrs) {
+    std::string line = "  " + identifier(from) + " -> " + identifier(to);
+    if (!attrs.empty()) line += " [" + join(attrs, ", ") + "]";
+    line += ";";
+    lines_.push_back(std::move(line));
+}
+
+std::string DotWriter::quote(std::string_view value) {
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string DotWriter::str() const {
+    std::string out = header_ + "\n";
+    for (const auto& line : lines_) out += line + "\n";
+    out += "}\n";
+    return out;
+}
+
+}  // namespace rap::util

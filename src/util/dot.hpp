@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rap::util {
+
+/// Minimal Graphviz DOT emitter. The DFS and Petri-net layers render their
+/// structure through this for documentation and debugging — the textual
+/// counterpart of the Workcraft canvas.
+class DotWriter {
+public:
+    explicit DotWriter(std::string_view graph_name, bool directed = true);
+
+    /// Adds a node; attrs are raw `key=value` strings (value pre-quoted by
+    /// the caller when needed via quote()).
+    void add_node(std::string_view id, const std::vector<std::string>& attrs);
+
+    void add_edge(std::string_view from, std::string_view to,
+                  const std::vector<std::string>& attrs = {});
+
+    /// Quotes and escapes an attribute value.
+    static std::string quote(std::string_view value);
+
+    std::string str() const;
+
+private:
+    std::string header_;
+    std::vector<std::string> lines_;
+};
+
+}  // namespace rap::util

@@ -1,0 +1,39 @@
+#include "util/linear_fit.hpp"
+
+#include <cmath>
+
+namespace rap::util {
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+    LinearFit fit;
+    if (xs.size() != ys.size() || xs.size() < 2) return fit;
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    if (std::abs(denom) < 1e-12) return fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    fit.points = xs.size();
+    const double ss_tot = syy - sy * sy / n;
+    if (ss_tot < 1e-12) {
+        fit.r_squared = 1.0;
+        return fit;
+    }
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+        ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+    return fit;
+}
+
+}  // namespace rap::util

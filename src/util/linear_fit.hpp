@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rap::util {
+
+/// Ordinary least-squares line fit, used by the depth-sweep experiment to
+/// quantify the paper's "time and energy increase linearly with pipeline
+/// length" claim (slope, intercept and R² of the fit).
+struct LinearFit {
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r_squared = 0.0;
+    std::size_t points = 0;
+};
+
+/// Fits y = slope*x + intercept. Requires xs.size() == ys.size() >= 2 and
+/// at least two distinct x values; returns a zero fit otherwise.
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace rap::util

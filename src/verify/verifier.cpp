@@ -1,0 +1,183 @@
+#include "verify/verifier.hpp"
+
+#include "util/strings.hpp"
+
+namespace rap::verify {
+
+std::string_view to_string(Property property) {
+    switch (property) {
+        case Property::Deadlock: return "deadlock";
+        case Property::ControlConflict: return "control-conflict";
+        case Property::Persistence: return "persistence";
+        case Property::Custom: return "custom";
+    }
+    return "?";
+}
+
+std::string Finding::to_string() const {
+    std::string out = std::string(rap::verify::to_string(property)) + ": ";
+    if (truncated) out += "INCONCLUSIVE (state cap hit); ";
+    out += violated ? "VIOLATED" : "ok";
+    out += util::format(" [%zu states]", states_explored);
+    if (!detail.empty()) out += " — " + detail;
+    if (!trace.empty()) out += "\n  trace: " + util::join(trace, " -> ");
+    return out;
+}
+
+std::string Report::to_string() const {
+    std::vector<std::string> lines;
+    lines.reserve(findings.size());
+    for (const auto& f : findings) lines.push_back(f.to_string());
+    return util::join(lines, "\n");
+}
+
+Verifier::Verifier(const dfs::Graph& graph, VerifyOptions options)
+    : graph_(&graph), options_(options), translation_(dfs::to_petri(graph)) {}
+
+Finding Verifier::from_reachability(Property property,
+                                    const petri::ReachabilityResult& result,
+                                    std::string detail_on_violation) const {
+    Finding finding;
+    finding.property = property;
+    finding.states_explored = result.states_explored;
+    finding.truncated = result.truncated;
+    finding.violated = result.found();
+    if (finding.violated) {
+        finding.detail = std::move(detail_on_violation);
+        if (result.witness) {
+            finding.detail +=
+                " at " + translation_.net.describe_marking(*result.witness);
+        }
+        if (result.witness_trace) {
+            for (const auto t : result.witness_trace->firings) {
+                finding.trace.push_back(translation_.net.transition_name(t));
+            }
+        }
+    }
+    return finding;
+}
+
+Finding Verifier::check_deadlock() const {
+    petri::ReachabilityOptions ropts;
+    ropts.max_states = options_.max_states;
+    petri::ReachabilityExplorer explorer(translation_.net, ropts);
+    const auto result = explorer.find(petri::Predicate::deadlock());
+    return from_reachability(Property::Deadlock, result, "deadlock reachable");
+}
+
+Finding Verifier::check_control_conflict() const {
+    // Build the Reach predicate: OR over all nodes with >=2 controls of
+    // "every control marked, and both polarities present".
+    const dfs::Graph& g = *graph_;
+    struct Watched {
+        dfs::NodeId node;
+        std::vector<dfs::NodeId> controls;
+        std::vector<bool> inverted;
+    };
+    std::vector<Watched> watched;
+    for (dfs::NodeId n : g.nodes()) {
+        const auto& controls = g.control_preset(n);
+        if (controls.size() >= 2) {
+            watched.push_back({n, controls, g.control_preset_inversion(n)});
+        }
+    }
+    if (watched.empty()) {
+        Finding finding;
+        finding.property = Property::ControlConflict;
+        finding.detail = "no node has multiple controls; trivially safe";
+        return finding;
+    }
+
+    const auto& places = translation_.places;
+    auto eval = [watched, &places](const petri::Net&,
+                                   const petri::Marking& m) {
+        for (const auto& w : watched) {
+            bool all_marked = true;
+            bool saw_true = false;
+            bool saw_false = false;
+            for (std::size_t i = 0; i < w.controls.size(); ++i) {
+                const auto& slots = places[w.controls[i].value];
+                if (!m.get(slots.m1.value)) {
+                    all_marked = false;
+                    break;
+                }
+                // Effective polarity after any inverting arc.
+                const bool is_true = m.get(slots.mt1.value) != w.inverted[i];
+                (is_true ? saw_true : saw_false) = true;
+            }
+            if (all_marked && saw_true && saw_false) return true;
+        }
+        return false;
+    };
+
+    petri::ReachabilityOptions ropts;
+    ropts.max_states = options_.max_states;
+    petri::ReachabilityExplorer explorer(translation_.net, ropts);
+    const auto result = explorer.find(
+        petri::Predicate::custom("control-conflict", eval));
+    return from_reachability(Property::ControlConflict, result,
+                             "mixed True/False controls disable a node");
+}
+
+Finding Verifier::check_persistence() const {
+    // Intended choices: the Mt_x+ / Mf_x+ pair of the same node, i.e. the
+    // non-deterministic outcome of a data-dependent predicate (Fig. 4).
+    auto exempt = [](const petri::Net& net, petri::TransitionId a,
+                     petri::TransitionId b) {
+        const std::string& na = net.transition_name(a);
+        const std::string& nb = net.transition_name(b);
+        const bool a_plus =
+            (util::starts_with(na, "Mt_") || util::starts_with(na, "Mf_")) &&
+            na.back() == '+';
+        const bool b_plus =
+            (util::starts_with(nb, "Mt_") || util::starts_with(nb, "Mf_")) &&
+            nb.back() == '+';
+        if (!a_plus || !b_plus) return false;
+        return na.substr(3) == nb.substr(3);
+    };
+
+    petri::PersistenceOptions popts;
+    popts.max_states = options_.max_states;
+    popts.exempt = exempt;
+    const auto result = petri::check_persistence(translation_.net, popts);
+
+    Finding finding;
+    finding.property = Property::Persistence;
+    finding.states_explored = result.states_explored;
+    finding.truncated = result.truncated;
+    finding.violated = !result.persistent();
+    if (finding.violated) {
+        const auto& v = result.violations.front();
+        finding.detail = v.to_string(translation_.net);
+        for (const auto t : v.trace_to_marking.firings) {
+            finding.trace.push_back(translation_.net.transition_name(t));
+        }
+    }
+    return finding;
+}
+
+Finding Verifier::check_custom(const petri::Predicate& predicate,
+                               std::string description) const {
+    petri::ReachabilityOptions ropts;
+    ropts.max_states = options_.max_states;
+    petri::ReachabilityExplorer explorer(translation_.net, ropts);
+    const auto result = explorer.find(predicate);
+    auto finding = from_reachability(Property::Custom, result,
+                                     "predicate reachable");
+    if (finding.detail.empty()) {
+        finding.detail = description + ": unreachable";
+    } else {
+        finding.detail = description + ": " + finding.detail;
+    }
+    return finding;
+}
+
+Report Verifier::verify_all() const {
+    Report report;
+    report.findings.push_back(check_deadlock());
+    report.findings.push_back(check_control_conflict());
+    report.findings.push_back(check_persistence());
+    return report;
+}
+
+}  // namespace rap::verify

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfs/dynamics.hpp"
+#include "dfs/model.hpp"
+#include "dfs/translate.hpp"
+#include "petri/persistence.hpp"
+#include "petri/predicate.hpp"
+#include "petri/reachability.hpp"
+
+namespace rap::verify {
+
+/// The properties the Workcraft/MPSAT flow checks on DFS models
+/// (Section II-D): the standard ones (deadlock) plus the custom functional
+/// hazards of the dynamic extension (control-token conflicts,
+/// non-persistence) expressed in Reach on the translated Petri net.
+enum class Property {
+    Deadlock,
+    ControlConflict,
+    Persistence,
+    Custom,
+};
+
+std::string_view to_string(Property property);
+
+/// Outcome of one property check.
+struct Finding {
+    Property property = Property::Custom;
+    bool violated = false;
+    bool truncated = false;          ///< state space cap hit — inconclusive
+    std::size_t states_explored = 0;
+    std::string detail;              ///< human-readable violation summary
+    std::vector<std::string> trace;  ///< PN firing trace witness
+
+    std::string to_string() const;
+};
+
+struct VerifyOptions {
+    std::size_t max_states = 2'000'000;
+};
+
+/// Aggregate report of a full verification pass.
+struct Report {
+    std::vector<Finding> findings;
+
+    bool clean() const {
+        for (const auto& f : findings) {
+            if (f.violated) return false;
+        }
+        return true;
+    }
+    std::string to_string() const;
+};
+
+/// Verifies DFS models by translating them to their Petri-net semantics
+/// and model-checking the result — the same pipeline the paper automates
+/// in Workcraft with the MPSAT backend.
+class Verifier {
+public:
+    explicit Verifier(const dfs::Graph& graph, VerifyOptions options = {});
+
+    /// Reachability of a marking with no enabled transitions.
+    Finding check_deadlock() const;
+
+    /// Reachability of a marking where some node's control preset is
+    /// fully marked with mixed True/False tokens — the "disabled node"
+    /// hazard of Section II-B.
+    Finding check_control_conflict() const;
+
+    /// Output persistence of the PN, exempting the intended Mt+/Mf+
+    /// free choices of control registers (Fig. 4's non-deterministic
+    /// evaluation outcome is a choice, not a hazard).
+    Finding check_persistence() const;
+
+    /// Reachability of a custom Reach-style predicate.
+    Finding check_custom(const petri::Predicate& predicate,
+                         std::string description) const;
+
+    /// Runs all standard checks.
+    Report verify_all() const;
+
+    const dfs::Translation& translation() const noexcept { return translation_; }
+
+private:
+    Finding from_reachability(Property property,
+                              const petri::ReachabilityResult& result,
+                              std::string detail_on_violation) const;
+
+    const dfs::Graph* graph_;
+    VerifyOptions options_;
+    dfs::Translation translation_;
+};
+
+}  // namespace rap::verify

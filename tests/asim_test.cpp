@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "asim/timed_sim.hpp"
+#include "dfs/dynamics.hpp"
+#include "dfs_helpers.hpp"
+#include "pipeline/builder.hpp"
+
+namespace rap::asim {
+namespace {
+
+using dfs::Dynamics;
+using dfs::State;
+using dfs::testing::add_linear_pipeline;
+using dfs::testing::make_fig1b;
+
+TimedSimulator make_sim(const Dynamics& dyn, const TimingMap& timing,
+                        double voltage = 1.2, double leakage_gates = 0.0) {
+    return TimedSimulator(dyn, timing, tech::VoltageModel{},
+                          tech::VoltageSchedule::constant(voltage),
+                          leakage_gates);
+}
+
+TEST(TimedSim, LinearPipelineAdvancesTime) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 3);
+    const Dynamics dyn(g);
+    auto sim = make_sim(dyn, uniform_timing(g, 1.0, 1.0));
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 10;
+    limits.observe = regs.back();
+    const auto stats = sim.run(s, limits);
+    EXPECT_EQ(stats.marks_at(regs.back()), 10u);
+    EXPECT_GT(stats.time_s, 10.0);      // at least the sink's own events
+    EXPECT_FALSE(stats.deadlocked);
+    EXPECT_FALSE(stats.frozen);
+    EXPECT_EQ(stats.dynamic_energy_j, static_cast<double>(stats.events));
+}
+
+TEST(TimedSim, ThroughputHalvesAtHalfSpeedVoltage) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    const tech::VoltageModel model;
+
+    auto run_at = [&](double v) {
+        auto sim = make_sim(dyn, uniform_timing(g, 1.0), v);
+        State s = State::initial(g);
+        RunLimits limits;
+        limits.target_marks = 50;
+        limits.observe = regs.back();
+        return sim.run(s, limits).time_s;
+    };
+    const double t_nominal = run_at(1.2);
+    const double t_low = run_at(0.6);
+    const double expected_ratio =
+        model.speed_factor(1.2) / model.speed_factor(0.6);
+    EXPECT_NEAR(t_low / t_nominal, expected_ratio, expected_ratio * 0.01);
+}
+
+TEST(TimedSim, EnergyScalesWithVoltageSquared) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    auto run_at = [&](double v) {
+        auto sim = make_sim(dyn, uniform_timing(g, 1.0, 1.0), v);
+        State s = State::initial(g);
+        RunLimits limits;
+        limits.target_marks = 50;
+        limits.observe = regs.back();
+        const auto stats = sim.run(s, limits);
+        return stats.dynamic_energy_j / static_cast<double>(stats.events);
+    };
+    EXPECT_NEAR(run_at(0.6) / run_at(1.2), 0.25, 1e-6);
+}
+
+TEST(TimedSim, DeadlockReported) {
+    dfs::Graph g("dead");
+    const auto c1 = g.add_control("c1", true, dfs::TokenValue::True);
+    const auto c2 = g.add_control("c2", false, dfs::TokenValue::True);
+    g.connect(c1, c2);
+    g.connect(c2, c1);
+    const Dynamics dyn(g);
+    auto sim = make_sim(dyn, uniform_timing(g, 1.0));
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.max_events = 100;
+    const auto stats = sim.run(s, limits);
+    EXPECT_TRUE(stats.deadlocked);
+    EXPECT_EQ(stats.events, 0u);
+}
+
+TEST(TimedSim, FrozenSupplyReported) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    TimedSimulator sim(dyn, uniform_timing(g, 1.0), tech::VoltageModel{},
+                       tech::VoltageSchedule::constant(0.2), 0.0);
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 5;
+    limits.observe = regs.back();
+    const auto stats = sim.run(s, limits);
+    EXPECT_TRUE(stats.frozen);
+    EXPECT_EQ(stats.events, 0u);
+}
+
+TEST(TimedSim, FreezeThenRecoveryCompletesWork) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    tech::VoltageSchedule schedule;
+    schedule.add_segment(5.0, 1.2);
+    schedule.add_segment(100.0, 0.30);  // freeze
+    schedule.add_segment(1.0, 1.2);     // recover, hold forever
+    TimedSimulator sim(dyn, uniform_timing(g, 1.0), tech::VoltageModel{},
+                       schedule, 0.0);
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 20;
+    limits.observe = regs.back();
+    const auto stats = sim.run(s, limits);
+    EXPECT_FALSE(stats.frozen);
+    EXPECT_EQ(stats.marks_at(regs.back()), 20u);
+    // The run must have waited out the frozen decade.
+    EXPECT_GT(stats.time_s, 105.0);
+}
+
+TEST(TimedSim, MaxTimeLimitStopsRun) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    auto sim = make_sim(dyn, uniform_timing(g, 1.0));
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 1000000;
+    limits.observe = regs.back();
+    limits.max_time_s = 50.0;
+    const auto stats = sim.run(s, limits);
+    EXPECT_LE(stats.time_s, 50.0 + 1e-9);
+    EXPECT_FALSE(stats.frozen);
+}
+
+TEST(TimedSim, LeakageAccruesOverTime) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    auto sim = make_sim(dyn, uniform_timing(g, 1.0), 1.2, 1e6);
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 20;
+    limits.observe = regs.back();
+    const auto stats = sim.run(s, limits);
+    const tech::VoltageModel model;
+    EXPECT_NEAR(stats.leakage_energy_j,
+                model.leakage_power(1.2, 1e6) * stats.time_s,
+                stats.leakage_energy_j * 1e-9);
+}
+
+TEST(TimedSim, PowerTraceCoversRunAndSumsToEnergy) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 2);
+    const Dynamics dyn(g);
+    auto sim = make_sim(dyn, uniform_timing(g, 1.0, 2.0), 1.2, 1e5);
+    sim.enable_power_trace(5.0);
+    State s = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 30;
+    limits.observe = regs.back();
+    const auto stats = sim.run(s, limits);
+    ASSERT_FALSE(stats.trace.empty());
+    double traced = 0;
+    for (const auto& sample : stats.trace) {
+        EXPECT_EQ(sample.voltage_v, 1.2);
+        traced += sample.power_w * (sample.t_end_s - sample.t_start_s);
+    }
+    // Trace bins cover at least the whole run (the last bin may extend
+    // past it, adding its leakage).
+    EXPECT_GE(traced, stats.total_energy_j() * 0.99);
+    EXPECT_LE(traced, stats.total_energy_j() * 1.2);
+}
+
+TEST(TimedSim, TrueBiasSteersBypassFraction) {
+    const auto m = make_fig1b();
+    const Dynamics dyn(m.graph);
+    auto sim = make_sim(dyn, uniform_timing(m.graph, 1.0));
+    sim.set_true_bias(0.2, 42);
+    State s = State::initial(m.graph);
+    RunLimits limits;
+    limits.target_marks = 400;
+    limits.observe = m.out;
+    const auto stats = sim.run(s, limits);
+    const double false_fraction =
+        static_cast<double>(stats.marks_at(m.out) -
+                            (stats.marks_at(m.comp))) /
+        static_cast<double>(stats.marks_at(m.out));
+    EXPECT_GT(false_fraction, 0.6);
+}
+
+TEST(TimedSim, SlowNodeDominatesThroughput) {
+    dfs::Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 3);
+    const Dynamics dyn(g);
+    TimingMap timing = uniform_timing(g, 1.0);
+    // Make the middle function block 10x slower.
+    const auto f2 = *g.find("p_f2");
+    timing[f2.value].delay_s = 10.0;
+
+    auto fast_sim = make_sim(dyn, uniform_timing(g, 1.0));
+    auto slow_sim = make_sim(dyn, timing);
+    State s1 = State::initial(g), s2 = State::initial(g);
+    RunLimits limits;
+    limits.target_marks = 30;
+    limits.observe = regs.back();
+    const double t_fast = fast_sim.run(s1, limits).time_s;
+    const double t_slow = slow_sim.run(s2, limits).time_s;
+    EXPECT_GT(t_slow, t_fast * 3.0);
+}
+
+TEST(TimedSim, DaisyPenaltyGrowsWithRealTokens) {
+    // Two sources joined by a logic node into a sink: with a per-true-
+    // input penalty on the join, the cycle slows proportionally.
+    dfs::Graph g("join");
+    const auto a = g.add_register("a");
+    const auto b = g.add_register("b");
+    const auto j = g.add_logic("j");
+    const auto sink = g.add_register("sink");
+    g.connect(a, j);
+    g.connect(b, j);
+    g.connect(j, sink);
+    const Dynamics dyn(g);
+
+    TimingMap plain = uniform_timing(g, 1.0);
+    TimingMap daisy = uniform_timing(g, 1.0);
+    daisy[j.value].delay_per_true_input_s = 5.0;
+
+    RunLimits limits;
+    limits.target_marks = 20;
+    limits.observe = sink;
+    State s1 = State::initial(g), s2 = State::initial(g);
+    auto sim1 = make_sim(dyn, plain);
+    auto sim2 = make_sim(dyn, daisy);
+    const double t_plain = sim1.run(s1, limits).time_s;
+    const double t_daisy = sim2.run(s2, limits).time_s;
+    EXPECT_GT(t_daisy, t_plain * 1.5);
+}
+
+}  // namespace
+}  // namespace rap::asim

@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared DFS model builders for the test suite: the paper's motivating
+// example (Fig. 1b) and the canonical 3-register control loop of the
+// reconfigurable stage methodology (Fig. 6c).
+
+#include <string>
+
+#include "dfs/model.hpp"
+
+namespace rap::dfs::testing {
+
+struct Fig1b {
+    Graph graph{"fig1b"};
+    NodeId in, cond, ctrl, filt, comp, out;
+};
+
+/// Conditional application of `comp` (Fig. 1b): `cond` evaluates the data
+/// item in `in`, its True/False outcome lands in the control register
+/// `ctrl`, which guards the push `filt` (destroying bypassed tokens) and
+/// the pop `out` (producing the matching empty output).
+inline Fig1b make_fig1b() {
+    Fig1b m;
+    Graph& g = m.graph;
+    m.in = g.add_register("in");
+    m.cond = g.add_logic("cond");
+    m.ctrl = g.add_control("ctrl", false, TokenValue::True);
+    m.filt = g.add_push("filt");
+    m.comp = g.add_register("comp");
+    m.out = g.add_pop("out");
+    g.connect(m.in, m.cond);
+    g.connect(m.cond, m.ctrl);
+    g.connect(m.in, m.filt);
+    g.connect(m.ctrl, m.filt);
+    g.connect(m.filt, m.comp);
+    g.connect(m.comp, m.out);
+    g.connect(m.ctrl, m.out);
+    return m;
+}
+
+struct ControlRing {
+    NodeId c1, c2, c3;
+};
+
+/// Adds a 3-register control loop (the minimum for token oscillation,
+/// Section III) carrying one token of the given polarity, with `c1`
+/// initially marked.
+inline ControlRing add_control_ring(Graph& g, const std::string& prefix,
+                                    TokenValue token) {
+    ControlRing ring;
+    ring.c1 = g.add_control(prefix + "_c1", true, token);
+    ring.c2 = g.add_control(prefix + "_c2", false, token);
+    ring.c3 = g.add_control(prefix + "_c3", false, token);
+    g.connect(ring.c1, ring.c2);
+    g.connect(ring.c2, ring.c3);
+    g.connect(ring.c3, ring.c1);
+    return ring;
+}
+
+/// A linear static pipeline: in -> f1 -> r1 -> f2 -> r2 -> ... -> fN -> rN.
+inline std::vector<NodeId> add_linear_pipeline(Graph& g,
+                                               const std::string& prefix,
+                                               int stages) {
+    std::vector<NodeId> regs;
+    NodeId prev = g.add_register(prefix + "_in");
+    regs.push_back(prev);
+    for (int i = 1; i <= stages; ++i) {
+        const NodeId f = g.add_logic(prefix + "_f" + std::to_string(i));
+        const NodeId r = g.add_register(prefix + "_r" + std::to_string(i));
+        g.connect(prev, f);
+        g.connect(f, r);
+        regs.push_back(r);
+        prev = r;
+    }
+    return regs;
+}
+
+}  // namespace rap::dfs::testing

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfs/dot.hpp"
+#include "dfs/model.hpp"
+#include "dfs_helpers.hpp"
+
+namespace rap::dfs {
+namespace {
+
+using testing::make_fig1b;
+
+TEST(Model, NodeKindsAndNames) {
+    const auto m = make_fig1b();
+    const Graph& g = m.graph;
+    EXPECT_EQ(g.kind(m.in), NodeKind::Register);
+    EXPECT_EQ(g.kind(m.cond), NodeKind::Logic);
+    EXPECT_EQ(g.kind(m.ctrl), NodeKind::Control);
+    EXPECT_EQ(g.kind(m.filt), NodeKind::Push);
+    EXPECT_EQ(g.kind(m.out), NodeKind::Pop);
+    EXPECT_EQ(g.node_name(m.filt), "filt");
+    EXPECT_EQ(g.node_count(), 6u);
+    EXPECT_EQ(g.edge_count(), 7u);
+}
+
+TEST(Model, FindByName) {
+    const auto m = make_fig1b();
+    EXPECT_EQ(m.graph.find("comp"), m.comp);
+    EXPECT_FALSE(m.graph.find("nope").has_value());
+}
+
+TEST(Model, DuplicateNameRejected) {
+    Graph g;
+    g.add_register("r");
+    EXPECT_THROW(g.add_logic("r"), std::invalid_argument);
+}
+
+TEST(Model, SelfLoopRejected) {
+    Graph g;
+    const auto r = g.add_register("r");
+    EXPECT_THROW(g.connect(r, r), std::invalid_argument);
+}
+
+TEST(Model, DuplicateEdgeRejected) {
+    Graph g;
+    const auto a = g.add_register("a");
+    const auto b = g.add_register("b");
+    g.connect(a, b);
+    EXPECT_THROW(g.connect(a, b), std::invalid_argument);
+}
+
+TEST(Model, PresetPostset) {
+    const auto m = make_fig1b();
+    const Graph& g = m.graph;
+    const auto in_post = g.postset(m.in);
+    EXPECT_EQ(in_post.size(), 2u);
+    EXPECT_NE(std::find(in_post.begin(), in_post.end(), m.cond),
+              in_post.end());
+    EXPECT_NE(std::find(in_post.begin(), in_post.end(), m.filt),
+              in_post.end());
+    EXPECT_EQ(g.preset(m.comp), std::vector<NodeId>{m.filt});
+}
+
+TEST(Model, RPresetSeesThroughLogic) {
+    const auto m = make_fig1b();
+    const Graph& g = m.graph;
+    // ?ctrl = {in} via the logic path in -> cond -> ctrl.
+    EXPECT_EQ(g.r_preset(m.ctrl), std::vector<NodeId>{m.in});
+    // in? = {ctrl, filt}.
+    const auto in_rpost = g.r_postset(m.in);
+    EXPECT_EQ(in_rpost.size(), 2u);
+    EXPECT_TRUE(std::binary_search(in_rpost.begin(), in_rpost.end(), m.ctrl));
+    EXPECT_TRUE(std::binary_search(in_rpost.begin(), in_rpost.end(), m.filt));
+}
+
+TEST(Model, RPresetIncludesDirectRegisterNeighbours) {
+    const auto m = make_fig1b();
+    const auto rpre = m.graph.r_preset(m.filt);
+    EXPECT_EQ(rpre.size(), 2u);
+    EXPECT_TRUE(std::binary_search(rpre.begin(), rpre.end(), m.in));
+    EXPECT_TRUE(std::binary_search(rpre.begin(), rpre.end(), m.ctrl));
+}
+
+TEST(Model, RPresetTraversesChainedLogic) {
+    Graph g;
+    const auto a = g.add_register("a");
+    const auto l1 = g.add_logic("l1");
+    const auto l2 = g.add_logic("l2");
+    const auto b = g.add_register("b");
+    g.connect(a, l1);
+    g.connect(l1, l2);
+    g.connect(l2, b);
+    EXPECT_EQ(g.r_preset(b), std::vector<NodeId>{a});
+    EXPECT_EQ(g.r_postset(a), std::vector<NodeId>{b});
+}
+
+TEST(Model, ControlPresetFiltersControls) {
+    const auto m = make_fig1b();
+    EXPECT_EQ(m.graph.control_preset(m.filt), std::vector<NodeId>{m.ctrl});
+    EXPECT_EQ(m.graph.control_preset(m.out), std::vector<NodeId>{m.ctrl});
+    EXPECT_TRUE(m.graph.control_preset(m.ctrl).empty());
+    EXPECT_TRUE(m.graph.control_preset(m.comp).empty());
+}
+
+TEST(Model, ValidateAcceptsFig1b) {
+    const auto m = make_fig1b();
+    EXPECT_TRUE(m.graph.validate().empty());
+    EXPECT_NO_THROW(m.graph.ensure_valid());
+}
+
+TEST(Model, ValidateRejectsCombinationalLoop) {
+    Graph g;
+    const auto r = g.add_register("r");
+    const auto l1 = g.add_logic("l1");
+    const auto l2 = g.add_logic("l2");
+    g.connect(r, l1);
+    g.connect(l1, l2);
+    g.connect(l2, l1);
+    g.connect(l2, r);  // close through register so presets are non-empty
+    const auto issues = g.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("combinational loop"), std::string::npos);
+    EXPECT_THROW(g.ensure_valid(), std::invalid_argument);
+}
+
+TEST(Model, ValidateRejectsUncontrolledPush) {
+    Graph g;
+    const auto a = g.add_register("a");
+    const auto p = g.add_push("p");
+    const auto b = g.add_register("b");
+    g.connect(a, p);
+    g.connect(p, b);
+    const auto issues = g.validate();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].find("no control register"), std::string::npos);
+}
+
+TEST(Model, ValidateRejectsDanglingLogic) {
+    Graph g;
+    const auto r = g.add_register("r");
+    const auto l = g.add_logic("l");
+    g.connect(r, l);  // no postset
+    const auto issues = g.validate();
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].find("empty postset"), std::string::npos);
+}
+
+TEST(Model, SetInitialUpdatesMarking) {
+    auto m = make_fig1b();
+    m.graph.set_initial(m.ctrl, true, TokenValue::False);
+    EXPECT_TRUE(m.graph.initial(m.ctrl).marked);
+    EXPECT_EQ(m.graph.initial(m.ctrl).token, TokenValue::False);
+    EXPECT_THROW(m.graph.set_initial(m.cond, true), std::invalid_argument);
+}
+
+TEST(Model, RegistersAndLogicsPartitionNodes) {
+    const auto m = make_fig1b();
+    EXPECT_EQ(m.graph.registers().size(), 5u);
+    EXPECT_EQ(m.graph.logics().size(), 1u);
+    EXPECT_EQ(m.graph.nodes().size(), 6u);
+}
+
+TEST(Model, KindToString) {
+    EXPECT_EQ(to_string(NodeKind::Logic), "logic");
+    EXPECT_EQ(to_string(NodeKind::Pop), "pop");
+}
+
+TEST(Dot, RendersAllNodeFlavours) {
+    auto m = make_fig1b();
+    m.graph.set_initial(m.ctrl, true, TokenValue::False);
+    const std::string dot = to_dot(m.graph);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("lightblue"), std::string::npos);   // control
+    EXPECT_NE(dot.find("lightsalmon"), std::string::npos); // push
+    EXPECT_NE(dot.find("lightgreen"), std::string::npos);  // pop
+    EXPECT_NE(dot.find("[F]"), std::string::npos);         // initial token
+}
+
+}  // namespace
+}  // namespace rap::dfs

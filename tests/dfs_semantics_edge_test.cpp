@@ -1,0 +1,254 @@
+// Edge-case suite for the dynamic-extension equations (Eq. 3/4/5) in
+// compound topologies: push gating across logic, multi-pop release rules,
+// polarity propagation through logic paths, and destroyed-token
+// containment invariants checked over whole reachable state spaces.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_set>
+
+#include "dfs/dynamics.hpp"
+#include "dfs/model.hpp"
+
+namespace rap::dfs {
+namespace {
+
+void apply_named(const Dynamics& dyn, State& s, const Graph& g,
+                 const char* node, EventKind kind) {
+    const Event e{*g.find(node), kind};
+    ASSERT_TRUE(dyn.is_enabled(s, e))
+        << node << " " << to_string(kind) << " at " << s.describe(g);
+    dyn.apply(s, e);
+}
+
+/// Exhaustive BFS asserting an invariant at every reachable state.
+template <typename Invariant>
+void for_all_reachable(const Dynamics& dyn, Invariant&& check) {
+    std::unordered_set<State, StateHash> seen;
+    std::deque<State> frontier;
+    const State s0 = State::initial(dyn.graph());
+    seen.insert(s0);
+    frontier.push_back(s0);
+    while (!frontier.empty()) {
+        const State s = frontier.front();
+        frontier.pop_front();
+        check(s);
+        for (const Event& e : dyn.enabled_events(s)) {
+            State next = s;
+            dyn.apply(next, e);
+            if (seen.insert(next).second) frontier.push_back(next);
+        }
+    }
+}
+
+// Eq. 3: a false-marked push upstream of *logic* must block evaluation.
+TEST(SemanticsEdge, DestroyedTokenNeverEvaluatesLogic) {
+    Graph g("push_logic");
+    const auto in = g.add_register("in");
+    // Polarity-preserving ring keeps the stage bypassed forever.
+    const auto c = g.add_control("c", true, TokenValue::False);
+    const auto c2 = g.add_control("c2", false, TokenValue::False);
+    const auto c3 = g.add_control("c3", false, TokenValue::False);
+    g.connect(c, c2);
+    g.connect(c2, c3);
+    g.connect(c3, c);
+    const auto p = g.add_push("p");
+    const auto f = g.add_logic("f");
+    const auto r = g.add_register("r");
+    g.connect(in, p);
+    g.connect(c, p);
+    g.connect(p, f);
+    g.connect(f, r);
+    const Dynamics dyn(g);
+    for_all_reachable(dyn, [&](const State& s) {
+        if (s.marked_false(g, *g.find("p"))) {
+            EXPECT_FALSE(s.logic_evaluated(*g.find("f")))
+                << s.describe(g);
+        }
+        // Nothing ever reaches r while the stage is bypassed.
+        EXPECT_FALSE(s.marked(*g.find("r"))) << s.describe(g);
+    });
+}
+
+// Eq. 4: a register with two pops in its R-postset releases its token
+// only when *both* latched it as real.
+TEST(SemanticsEdge, MultiPopReleaseNeedsAllTrue) {
+    Graph g("two_pops");
+    const auto src = g.add_register("src", true);
+    const auto ct = g.add_control("ct", true, TokenValue::True);
+    const auto cf = g.add_control("cf", true, TokenValue::False);
+    const auto qa = g.add_pop("qa");
+    const auto qb = g.add_pop("qb");
+    g.connect(src, qa);
+    g.connect(src, qb);
+    g.connect(ct, qa);
+    g.connect(cf, qb);
+    const Dynamics dyn(g);
+    State s = State::initial(g);
+    apply_named(dyn, s, g, "qa", EventKind::MarkTrue);   // takes the token
+    apply_named(dyn, s, g, "qb", EventKind::MarkFalse);  // self-produces
+    // Both pops marked, but qb holds an empty token: src must keep its
+    // token.
+    EXPECT_FALSE(dyn.is_enabled(s, {src, EventKind::Unmark}));
+    (void)qa;
+    (void)qb;
+}
+
+// Eq. 5 polarity copy works through a logic path, not just direct arcs.
+TEST(SemanticsEdge, PolarityPropagatesThroughLogicPath) {
+    Graph g("ctrl_logic_ctrl");
+    const auto c1 = g.add_control("c1", true, TokenValue::False);
+    const auto f = g.add_logic("f");
+    const auto c2 = g.add_control("c2", false, TokenValue::True);
+    const auto sink = g.add_register("sink");
+    g.connect(c1, f);
+    g.connect(f, c2);
+    g.connect(c2, sink);
+    const Dynamics dyn(g);
+    State s = State::initial(g);
+    apply_named(dyn, s, g, "f", EventKind::LogicEvaluate);
+    // c2's control preset is {c1} via the logic path: only the False
+    // polarity can latch.
+    EXPECT_FALSE(dyn.is_enabled(s, {c2, EventKind::MarkTrue}));
+    EXPECT_TRUE(dyn.is_enabled(s, {c2, EventKind::MarkFalse}));
+}
+
+// A pop's empty token *does* evaluate downstream logic (only pushes gate
+// logic in Eq. 3) — that is how bypassed stages complete the aggregation.
+TEST(SemanticsEdge, EmptyTokenEvaluatesDownstreamLogic) {
+    Graph g("pop_logic");
+    const auto src = g.add_register("src");
+    const auto c = g.add_control("c", true, TokenValue::False);
+    const auto q = g.add_pop("q");
+    const auto f = g.add_logic("f");
+    const auto r = g.add_register("r");
+    g.connect(src, q);
+    g.connect(c, q);
+    g.connect(q, f);
+    g.connect(f, r);
+    const Dynamics dyn(g);
+    State s = State::initial(g);
+    apply_named(dyn, s, g, "q", EventKind::MarkFalse);
+    EXPECT_TRUE(dyn.is_enabled(s, {f, EventKind::LogicEvaluate}));
+    apply_named(dyn, s, g, "f", EventKind::LogicEvaluate);
+    EXPECT_TRUE(dyn.is_enabled(s, {r, EventKind::Mark}));
+}
+
+// A push directly feeding a control register gates it like any register
+// (Eq. 4 applied to control marking).
+TEST(SemanticsEdge, FalsePushBlocksControlRegister) {
+    Graph g("push_ctrl");
+    const auto in = g.add_register("in");
+    // Polarity-preserving guard ring (a free-standing control register
+    // would re-mark with an arbitrary polarity).
+    const auto guard = g.add_control("guard", true, TokenValue::False);
+    const auto g2 = g.add_control("g2", false, TokenValue::False);
+    const auto g3 = g.add_control("g3", false, TokenValue::False);
+    g.connect(guard, g2);
+    g.connect(g2, g3);
+    g.connect(g3, guard);
+    const auto p = g.add_push("p");
+    const auto c = g.add_control("c", false, TokenValue::True);
+    const auto sink = g.add_register("sink");
+    g.connect(in, p);
+    g.connect(guard, p);
+    g.connect(p, c);
+    g.connect(c, sink);
+    const Dynamics dyn(g);
+    for_all_reachable(dyn, [&](const State& s) {
+        // The control can never latch: its only source is destroyed.
+        EXPECT_FALSE(s.marked(*g.find("c"))) << s.describe(g);
+    });
+}
+
+// Tokens cannot be duplicated or lost across a push/pop pair operating
+// statically: input and output counts stay balanced in every state.
+TEST(SemanticsEdge, TokenBalanceThroughActivePushPop) {
+    Graph g("balance");
+    const auto in = g.add_register("in");
+    const auto ring_c1 = g.add_control("c1", true, TokenValue::True);
+    const auto ring_c2 = g.add_control("c2", false, TokenValue::True);
+    const auto ring_c3 = g.add_control("c3", false, TokenValue::True);
+    g.connect(ring_c1, ring_c2);
+    g.connect(ring_c2, ring_c3);
+    g.connect(ring_c3, ring_c1);
+    const auto p = g.add_push("p");
+    const auto mid = g.add_register("mid");
+    const auto q = g.add_pop("q");
+    const auto sink = g.add_register("sink");
+    g.connect(in, p);
+    g.connect(ring_c1, p);
+    g.connect(p, mid);
+    g.connect(mid, q);
+    g.connect(ring_c1, q);
+    g.connect(q, sink);
+    const Dynamics dyn(g);
+    for_all_reachable(dyn, [&](const State& s) {
+        // With the ring fixed at True no empty/destroyed token can exist.
+        EXPECT_FALSE(s.marked_false(g, *g.find("p"))) << s.describe(g);
+        EXPECT_FALSE(s.marked_false(g, *g.find("q"))) << s.describe(g);
+        // Pipeline occupancy is bounded by its register count.
+        int occupancy = 0;
+        for (const char* name : {"p", "mid", "q", "sink"}) {
+            occupancy += s.marked(*g.find(name));
+        }
+        EXPECT_LE(occupancy, 4);
+    });
+}
+
+// Inverting arcs through a logic path are not a thing: the inversion
+// applies to direct arcs only, and polarity copied through logic keeps
+// the source's value.
+TEST(SemanticsEdge, InversionAppliesToDirectArcOnly) {
+    Graph g("inv_path");
+    const auto c1 = g.add_control("c1", true, TokenValue::True);
+    const auto f = g.add_logic("f");
+    const auto c2 = g.add_control("c2", false, TokenValue::True);
+    const auto sink = g.add_register("sink");
+    g.connect(c1, f);
+    g.connect(f, c2);
+    g.connect(c2, sink);
+    const auto& inversion = g.control_preset_inversion(c2);
+    ASSERT_EQ(inversion.size(), 1u);
+    EXPECT_FALSE(inversion[0]);
+    (void)c1;
+}
+
+// Sources and sinks: a register with no preset marks freely (environment
+// supplies tokens), one with no postset drains freely.
+TEST(SemanticsEdge, OpenBoundaryBehaviour) {
+    Graph g("open");
+    const auto src = g.add_register("src");
+    const auto dst = g.add_register("dst");
+    g.connect(src, dst);
+    const Dynamics dyn(g);
+    State s = State::initial(g);
+    apply_named(dyn, s, g, "src", EventKind::Mark);
+    apply_named(dyn, s, g, "dst", EventKind::Mark);
+    apply_named(dyn, s, g, "src", EventKind::Unmark);
+    apply_named(dyn, s, g, "dst", EventKind::Unmark);
+    EXPECT_EQ(s, State::initial(g));
+}
+
+// The spacer discipline also holds for dynamic registers: no two
+// consecutive registers of the active chain ever hold tokens while the
+// one between them is being bypassed... i.e. M↑ requires the R-postset
+// empty even when a pop would self-produce.
+TEST(SemanticsEdge, PopRespectsOutputSpace) {
+    Graph g("pop_space");
+    const auto src = g.add_register("src");
+    const auto c = g.add_control("c", true, TokenValue::False);
+    const auto q = g.add_pop("q");
+    const auto sink = g.add_register("sink", true);  // already full
+    g.connect(src, q);
+    g.connect(c, q);
+    g.connect(q, sink);
+    const Dynamics dyn(g);
+    const State s = State::initial(g);
+    // sink occupied: the empty token cannot be produced yet.
+    EXPECT_FALSE(dyn.is_enabled(s, {q, EventKind::MarkFalse}));
+}
+
+}  // namespace
+}  // namespace rap::dfs

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dfs/serialize.hpp"
+#include "dfs_helpers.hpp"
+
+namespace rap::dfs {
+namespace {
+
+using testing::make_fig1b;
+
+bool graphs_equivalent(const Graph& a, const Graph& b) {
+    if (a.name() != b.name() || a.node_count() != b.node_count() ||
+        a.edge_count() != b.edge_count()) {
+        return false;
+    }
+    for (const NodeId n : a.nodes()) {
+        const auto other = b.find(a.node_name(n));
+        if (!other || b.kind(*other) != a.kind(n)) return false;
+        if (!a.is_logic(n)) {
+            const auto& ia = a.initial(n);
+            const auto& ib = b.initial(*other);
+            if (ia.marked != ib.marked) return false;
+            if (a.is_dynamic(n) && ia.marked && ia.token != ib.token) {
+                return false;
+            }
+        }
+        for (const NodeId succ : a.postset(n)) {
+            const auto bsucc = b.find(a.node_name(succ));
+            if (!bsucc) return false;
+            const auto& post = b.postset(*other);
+            if (std::find(post.begin(), post.end(), *bsucc) == post.end()) {
+                return false;
+            }
+            if (a.is_inverted(n, succ) != b.is_inverted(*other, *bsucc)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+TEST(Serialize, RoundTripFig1b) {
+    auto m = make_fig1b();
+    m.graph.set_initial(m.ctrl, true, TokenValue::False);
+    const std::string text = to_text(m.graph);
+    const Graph loaded = from_text(text);
+    EXPECT_TRUE(graphs_equivalent(m.graph, loaded));
+    // Stable: serialising again yields identical text.
+    EXPECT_EQ(to_text(loaded), text);
+}
+
+TEST(Serialize, RoundTripWithInvertedArcs) {
+    Graph g("inv");
+    const auto in = g.add_register("in", true);
+    const auto c = g.add_control("c", true, TokenValue::False);
+    const auto p = g.add_push("p");
+    const auto sink = g.add_register("sink");
+    g.connect(in, p);
+    g.connect_inverted(c, p);
+    g.connect(p, sink);
+    const Graph loaded = from_text(to_text(g));
+    EXPECT_TRUE(graphs_equivalent(g, loaded));
+    EXPECT_TRUE(loaded.is_inverted(*loaded.find("c"), *loaded.find("p")));
+}
+
+TEST(Serialize, ParsesHandWrittenModel) {
+    const char* text = R"(# the paper's motivating example
+dfs fig1b
+register in
+logic cond
+control ctrl
+push filt
+register comp *
+pop out F
+
+edge in cond
+edge cond ctrl
+edge in filt
+edge ctrl filt
+edge filt comp
+edge comp out
+edge ctrl out
+)";
+    const Graph g = from_text(text);
+    EXPECT_EQ(g.name(), "fig1b");
+    EXPECT_EQ(g.node_count(), 6u);
+    EXPECT_EQ(g.edge_count(), 7u);
+    EXPECT_TRUE(g.initial(*g.find("comp")).marked);
+    EXPECT_TRUE(g.initial(*g.find("out")).marked);
+    EXPECT_EQ(g.initial(*g.find("out")).token, TokenValue::False);
+    EXPECT_FALSE(g.initial(*g.find("ctrl")).marked);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+    auto expect_error = [](const char* text, const char* needle) {
+        try {
+            from_text(text);
+            FAIL() << "expected parse error for: " << text;
+        } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    expect_error("register r\n", "header");
+    expect_error("dfs a\ndfs b\n", "duplicate");
+    expect_error("dfs a\nwidget w\n", "unknown keyword 'widget'");
+    expect_error("dfs a\nregister r X\n", "must be '*'");
+    expect_error("dfs a\ncontrol c *\n", "'T' or 'F'");
+    expect_error("dfs a\nedge x y\n", "unknown node 'x'");
+    expect_error("dfs a\nregister r\nregister s\nedge r s wat\n",
+                 "unknown edge flag");
+    expect_error("dfs a\nlogic l *\n", "no marking");
+    expect_error("dfs\n", "missing model name");
+    expect_error("dfs a\nedge r\n", "two node names");
+    EXPECT_THROW(from_text(""), std::invalid_argument);
+    EXPECT_THROW(from_text("# only a comment\n"), std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const auto m = make_fig1b();
+    const auto path =
+        std::filesystem::temp_directory_path() / "rap_serialize_test.dfs";
+    save_file(m.graph, path.string());
+    const Graph loaded = load_file(path.string());
+    EXPECT_TRUE(graphs_equivalent(m.graph, loaded));
+    std::filesystem::remove(path);
+    EXPECT_THROW(load_file("/nonexistent/nope.dfs"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rap::dfs

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "dfs_helpers.hpp"
+#include "ope/dfs_models.hpp"
+#include "perf/cycles.hpp"
+#include "perf/throughput.hpp"
+#include "pipeline/builder.hpp"
+
+namespace rap::perf {
+namespace {
+
+using dfs::Graph;
+using dfs::TokenValue;
+using dfs::testing::add_control_ring;
+using dfs::testing::add_linear_pipeline;
+
+TEST(Cycles, AcyclicGraphHasNoCycles) {
+    Graph g("lin");
+    add_linear_pipeline(g, "p", 3);
+    const auto report = analyse_cycles(g);
+    EXPECT_TRUE(report.cycles.empty());
+    EXPECT_EQ(report.throughput_bound(), 1.0);
+    EXPECT_EQ(report.bottleneck(), nullptr);
+    EXPECT_TRUE(report.bottleneck_nodes().empty());
+}
+
+TEST(Cycles, ThreeRingBound) {
+    Graph g("ring3");
+    add_control_ring(g, "r", TokenValue::True);
+    const auto report = analyse_cycles(g);
+    ASSERT_EQ(report.cycles.size(), 1u);
+    const Cycle& c = report.cycles[0];
+    EXPECT_EQ(c.registers, 3u);
+    EXPECT_EQ(c.tokens, 1u);
+    // min(1, floor(2/2)) / 3 = 1/3.
+    EXPECT_NEAR(c.throughput_bound, 1.0 / 3.0, 1e-12);
+    EXPECT_FALSE(report.truncated);
+}
+
+TEST(Cycles, TwoRingIsDead) {
+    Graph g("ring2");
+    const auto a = g.add_register("a", true);
+    const auto b = g.add_register("b");
+    g.connect(a, b);
+    g.connect(b, a);
+    const auto report = analyse_cycles(g);
+    ASSERT_EQ(report.cycles.size(), 1u);
+    // One bubble is not enough for a token to advance.
+    EXPECT_EQ(report.cycles[0].throughput_bound, 0.0);
+    EXPECT_EQ(report.throughput_bound(), 0.0);
+}
+
+TEST(Cycles, TokenFreeRingIsDead) {
+    Graph g("ring0");
+    const auto a = g.add_register("a");
+    const auto b = g.add_register("b");
+    const auto c = g.add_register("c");
+    g.connect(a, b);
+    g.connect(b, c);
+    g.connect(c, a);
+    const auto report = analyse_cycles(g);
+    ASSERT_EQ(report.cycles.size(), 1u);
+    EXPECT_EQ(report.cycles[0].tokens, 0u);
+    EXPECT_EQ(report.cycles[0].throughput_bound, 0.0);
+}
+
+TEST(Cycles, BiggerRingsAreSlowerWithOneToken) {
+    auto bound_of_ring = [](int n) {
+        Graph g("ring");
+        std::vector<dfs::NodeId> regs;
+        for (int i = 0; i < n; ++i) {
+            regs.push_back(
+                g.add_register("r" + std::to_string(i), i == 0));
+        }
+        for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
+        return analyse_cycles(g).throughput_bound();
+    };
+    EXPECT_GT(bound_of_ring(3), bound_of_ring(5));
+    EXPECT_GT(bound_of_ring(5), bound_of_ring(9));
+}
+
+TEST(Cycles, MoreTokensHelpUntilCongestion) {
+    auto bound_with_tokens = [](int tokens) {
+        Graph g("ring");
+        const int n = 9;
+        std::vector<dfs::NodeId> regs;
+        for (int i = 0; i < n; ++i) {
+            regs.push_back(
+                g.add_register("r" + std::to_string(i), i < tokens));
+        }
+        for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
+        return analyse_cycles(g).throughput_bound();
+    };
+    EXPECT_GT(bound_with_tokens(2), bound_with_tokens(1));
+    EXPECT_GT(bound_with_tokens(3), bound_with_tokens(2));
+    // Congestion: too many tokens starve the bubbles.
+    EXPECT_GT(bound_with_tokens(3), bound_with_tokens(7));
+    EXPECT_EQ(bound_with_tokens(9), 0.0);
+}
+
+TEST(Cycles, LogicNodesCountedButHoldNoTokens) {
+    Graph g("mixed");
+    const auto a = g.add_register("a", true);
+    const auto f = g.add_logic("f");
+    const auto b = g.add_register("b");
+    g.connect(a, f);
+    g.connect(f, b);
+    g.connect(b, a);
+    const auto report = analyse_cycles(g);
+    ASSERT_EQ(report.cycles.size(), 1u);
+    EXPECT_EQ(report.cycles[0].registers, 2u);
+    EXPECT_EQ(report.cycles[0].logics, 1u);
+}
+
+TEST(Cycles, SlowestCycleFirstAndBottleneckIdentified) {
+    Graph g("two_rings");
+    const auto fast = add_control_ring(g, "fast", TokenValue::True);
+    // A slower 6-ring with one token.
+    std::vector<dfs::NodeId> regs;
+    for (int i = 0; i < 6; ++i) {
+        regs.push_back(g.add_register("s" + std::to_string(i), i == 0));
+    }
+    for (int i = 0; i < 6; ++i) g.connect(regs[i], regs[(i + 1) % 6]);
+    (void)fast;
+    const auto report = analyse_cycles(g);
+    ASSERT_EQ(report.cycles.size(), 2u);
+    EXPECT_EQ(report.cycles[0].registers, 6u);  // slowest first
+    const auto bottleneck = report.bottleneck_nodes();
+    EXPECT_EQ(bottleneck.size(), 6u);
+}
+
+TEST(Cycles, CapTruncatesEnumeration) {
+    // Complete-ish digraph: lots of simple cycles.
+    Graph g("dense");
+    std::vector<dfs::NodeId> regs;
+    for (int i = 0; i < 8; ++i) {
+        regs.push_back(g.add_register("r" + std::to_string(i), i % 2 == 0));
+    }
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 8; ++j) {
+            if (i != j) g.connect(regs[i], regs[j]);
+        }
+    }
+    CycleAnalysisOptions options;
+    options.max_cycles = 50;
+    const auto report = analyse_cycles(g, options);
+    EXPECT_TRUE(report.truncated);
+    EXPECT_EQ(report.cycles.size(), 50u);
+}
+
+TEST(Cycles, OpeReconfigurableModelAnalysable) {
+    const auto p = ope::build_reconfigurable_ope_dfs(4, 4);
+    CycleAnalysisOptions options;
+    options.max_cycles = 5000;
+    const auto report = analyse_cycles(p.graph, options);
+    ASSERT_FALSE(report.cycles.empty());
+    // Every control ring shows up as a 1/3-throughput cycle; nothing is
+    // dead in a valid configuration.
+    EXPECT_GT(report.throughput_bound(), 0.0);
+    EXPECT_LE(report.throughput_bound(), 1.0 / 3.0 + 1e-12);
+}
+
+TEST(Cycles, DescribeMentionsRegistersAndBound) {
+    Graph g("ring3");
+    add_control_ring(g, "r", TokenValue::True);
+    const auto report = analyse_cycles(g);
+    const std::string text = report.cycles[0].describe(g);
+    EXPECT_NE(text.find("3 regs"), std::string::npos);
+    EXPECT_NE(text.find("r_c1"), std::string::npos);
+}
+
+// ----------------------------------------------------------- throughput --
+
+TEST(Throughput, LinearPipelineMeasurable) {
+    Graph g("lin");
+    const auto regs = add_linear_pipeline(g, "p", 3);
+    ThroughputOptions options;
+    options.tokens = 100;
+    const auto result = measure_throughput(g, regs.back(), options);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_GT(result.tokens_per_s, 0.0);
+    EXPECT_EQ(result.tokens, 100u);
+}
+
+TEST(Throughput, DeadModelReportsDeadlock) {
+    Graph g("ring2");
+    const auto a = g.add_register("a", true);
+    const auto b = g.add_register("b");
+    g.connect(a, b);
+    g.connect(b, a);
+    const auto result = measure_throughput(g, b);
+    EXPECT_TRUE(result.deadlocked);
+    EXPECT_EQ(result.tokens_per_s, 0.0);
+}
+
+TEST(Throughput, SlowerRingMeasuresSlower) {
+    auto rate_of_ring = [](int n) {
+        Graph g("ring");
+        std::vector<dfs::NodeId> regs;
+        for (int i = 0; i < n; ++i) {
+            regs.push_back(g.add_register("r" + std::to_string(i), i == 0));
+        }
+        for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
+        ThroughputOptions options;
+        options.tokens = 60;
+        return measure_throughput(g, regs[0], options).tokens_per_s;
+    };
+    // With one token the mark wave pipelines: small rings are limited by
+    // the 2-events-per-register serialisation (period 6 for the 3-ring),
+    // large ones by the revolution length n.
+    EXPECT_GE(rate_of_ring(3), rate_of_ring(6) * 0.999);
+    EXPECT_GT(rate_of_ring(6), rate_of_ring(12) * 1.5);
+}
+
+TEST(Throughput, MeasurementTracksCycleBoundOrdering) {
+    // The analytic bound and the measured rate must order rings the same
+    // way — the property the Fig. 5 analysis relies on.
+    auto both = [](int n, int tokens) {
+        Graph g("ring");
+        std::vector<dfs::NodeId> regs;
+        const int spacing = n / tokens;
+        for (int i = 0; i < n; ++i) {
+            // Evenly spaced tokens: the placement the bound assumes.
+            regs.push_back(g.add_register("r" + std::to_string(i),
+                                          i % spacing == 0 &&
+                                              i / spacing < tokens));
+        }
+        for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
+        ThroughputOptions options;
+        options.tokens = 60;
+        return std::make_pair(
+            analyse_cycles(g).throughput_bound(),
+            measure_throughput(g, regs[0], options).tokens_per_s);
+    };
+    const auto [bound_a, rate_a] = both(9, 1);
+    const auto [bound_b, rate_b] = both(9, 3);
+    EXPECT_LT(bound_a, bound_b);
+    EXPECT_LT(rate_a, rate_b);
+}
+
+}  // namespace
+}  // namespace rap::perf

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tech/voltage.hpp"
+
+namespace rap::tech {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(VoltageModel, SpeedNormalisedAtNominal) {
+    const VoltageModel m;
+    EXPECT_NEAR(m.speed_factor(1.2), 1.0, 1e-12);
+}
+
+TEST(VoltageModel, SpeedMonotoneInVoltage) {
+    const VoltageModel m;
+    double prev = 0;
+    for (double v = 0.35; v <= 1.6; v += 0.05) {
+        const double s = m.speed_factor(v);
+        EXPECT_GT(s, prev) << "at " << v;
+        prev = s;
+    }
+}
+
+TEST(VoltageModel, FreezesAtAndBelowThreshold) {
+    const VoltageModel m;
+    EXPECT_EQ(m.speed_factor(0.34), 0.0);
+    EXPECT_EQ(m.speed_factor(0.30), 0.0);
+    EXPECT_EQ(m.speed_factor(0.0), 0.0);
+    EXPECT_GT(m.speed_factor(0.35), 0.0);
+}
+
+TEST(VoltageModel, NearThresholdSlowdownIsSteep) {
+    // The paper's Fig. 9a spans roughly two decades of computation time
+    // between 0.5V and 1.6V.
+    const VoltageModel m;
+    const double slow = 1.0 / m.speed_factor(0.5);
+    const double fast = 1.0 / m.speed_factor(1.6);
+    EXPECT_GT(slow / fast, 10.0);
+    EXPECT_LT(slow / fast, 200.0);
+}
+
+TEST(VoltageModel, EnergySquareLaw) {
+    const VoltageModel m;
+    EXPECT_NEAR(m.energy_factor(1.2), 1.0, 1e-12);
+    EXPECT_NEAR(m.energy_factor(0.6), 0.25, 1e-12);
+    EXPECT_NEAR(m.energy_factor(2.4), 4.0, 1e-12);
+}
+
+TEST(VoltageModel, LeakageScalesWithGatesAndVoltage) {
+    const VoltageModel m;
+    const double p1 = m.leakage_power(1.2, 1000);
+    const double p2 = m.leakage_power(1.2, 2000);
+    EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+    EXPECT_LT(m.leakage_power(0.5, 1000), p1);
+    EXPECT_EQ(m.leakage_power(0.0, 1000), 0.0);
+    EXPECT_EQ(m.leakage_power(-1.0, 1000), 0.0);
+}
+
+TEST(VoltageModel, RejectsDegenerateParams) {
+    ProcessParams p;
+    p.v_nominal = 0.3;
+    p.v_freeze = 0.34;
+    EXPECT_THROW(VoltageModel{p}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ schedule --
+
+TEST(VoltageSchedule, ConstantHoldsForever) {
+    const auto s = VoltageSchedule::constant(0.9);
+    EXPECT_EQ(s.voltage_at(0.0), 0.9);
+    EXPECT_EQ(s.voltage_at(1e9), 0.9);
+}
+
+TEST(VoltageSchedule, EmptyScheduleIsFrozen) {
+    const VoltageSchedule s;
+    const VoltageModel m;
+    EXPECT_EQ(s.voltage_at(5.0), 0.0);
+    EXPECT_EQ(s.finish_time(m, 0.0, 1.0), kInf);
+}
+
+TEST(VoltageSchedule, SegmentsApplyInOrder) {
+    VoltageSchedule s;
+    s.add_segment(10.0, 1.2);
+    s.add_segment(5.0, 0.5);
+    s.add_segment(1.0, 1.0);  // holds forever
+    EXPECT_EQ(s.voltage_at(0.0), 1.2);
+    EXPECT_EQ(s.voltage_at(9.999), 1.2);
+    EXPECT_EQ(s.voltage_at(10.0), 0.5);
+    EXPECT_EQ(s.voltage_at(14.9), 0.5);
+    EXPECT_EQ(s.voltage_at(15.0), 1.0);
+    EXPECT_EQ(s.voltage_at(1e6), 1.0);
+    EXPECT_THROW(s.add_segment(0.0, 1.2), std::invalid_argument);
+}
+
+TEST(VoltageSchedule, FinishTimeAtNominalIsIdentity) {
+    const auto s = VoltageSchedule::constant(1.2);
+    const VoltageModel m;
+    EXPECT_NEAR(s.finish_time(m, 2.0, 3.0), 5.0, 1e-12);
+    EXPECT_EQ(s.finish_time(m, 2.0, 0.0), 2.0);
+}
+
+TEST(VoltageSchedule, FinishTimeScalesWithSpeed) {
+    const VoltageModel m;
+    const auto s = VoltageSchedule::constant(0.5);
+    const double rate = m.speed_factor(0.5);
+    EXPECT_NEAR(s.finish_time(m, 0.0, 1.0), 1.0 / rate, 1e-9);
+}
+
+TEST(VoltageSchedule, WorkSpansSegmentBoundary) {
+    // 1s of work, but the first segment only supplies half of it.
+    VoltageSchedule s;
+    s.add_segment(0.5, 1.2);   // rate 1 for 0.5s -> 0.5 work done
+    s.add_segment(1.0, 1.2);   // remaining 0.5 work at rate 1
+    const VoltageModel m;
+    EXPECT_NEAR(s.finish_time(m, 0.0, 1.0), 1.0, 1e-9);
+}
+
+TEST(VoltageSchedule, FreezeThenRecoverCompletesAfterRecovery) {
+    VoltageSchedule s;
+    s.add_segment(1.0, 1.2);    // 1 work unit possible
+    s.add_segment(10.0, 0.30);  // frozen decade
+    s.add_segment(1.0, 1.2);    // recovery
+    const VoltageModel m;
+    // 2 units of work: 1 before the freeze, then wait out the freeze.
+    EXPECT_NEAR(s.finish_time(m, 0.0, 2.0), 12.0, 1e-9);
+}
+
+TEST(VoltageSchedule, FrozenForeverNeverFinishes) {
+    VoltageSchedule s;
+    s.add_segment(1.0, 1.2);
+    s.add_segment(1.0, 0.2);  // trailing freeze holds forever
+    const VoltageModel m;
+    EXPECT_EQ(s.finish_time(m, 0.0, 2.0), kInf);
+}
+
+TEST(VoltageSchedule, LeakageEnergyIntegratesSegments) {
+    VoltageSchedule s;
+    s.add_segment(2.0, 1.2);
+    s.add_segment(2.0, 0.6);
+    const VoltageModel m;
+    const double gates = 1e6;
+    const double expected = m.leakage_power(1.2, gates) * 2.0 +
+                            m.leakage_power(0.6, gates) * 1.0;
+    EXPECT_NEAR(s.leakage_energy(m, gates, 0.0, 3.0), expected, 1e-15);
+    EXPECT_EQ(s.leakage_energy(m, gates, 3.0, 3.0), 0.0);
+    EXPECT_EQ(s.leakage_energy(m, gates, 5.0, 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rap::tech

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "dfs_helpers.hpp"
+#include "verify/verifier.hpp"
+
+namespace rap::verify {
+namespace {
+
+using dfs::Graph;
+using dfs::NodeId;
+using dfs::TokenValue;
+using dfs::testing::add_control_ring;
+using dfs::testing::make_fig1b;
+
+TEST(Verifier, Fig1bIsClean) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const Report report = verifier.verify_all();
+    EXPECT_TRUE(report.clean()) << report.to_string();
+    for (const auto& finding : report.findings) {
+        EXPECT_FALSE(finding.truncated);
+        // The control-conflict check short-circuits without exploring when
+        // no node has multiple controls.
+        if (finding.property != Property::ControlConflict) {
+            EXPECT_GT(finding.states_explored, 0u);
+        }
+    }
+}
+
+TEST(Verifier, DeadlockFoundInTwoRegisterRing) {
+    Graph g("ring2");
+    const auto c1 = g.add_control("c1", true, TokenValue::True);
+    const auto c2 = g.add_control("c2", false, TokenValue::True);
+    g.connect(c1, c2);
+    g.connect(c2, c1);
+    const Verifier verifier(g);
+    const Finding finding = verifier.check_deadlock();
+    EXPECT_TRUE(finding.violated);
+    // Deadlocked from the start: empty witness trace.
+    EXPECT_TRUE(finding.trace.empty());
+    EXPECT_NE(finding.to_string().find("VIOLATED"), std::string::npos);
+}
+
+TEST(Verifier, HealthyRingHasNoDeadlock) {
+    Graph g("ring3");
+    add_control_ring(g, "loop", TokenValue::True);
+    const Verifier verifier(g);
+    EXPECT_FALSE(verifier.check_deadlock().violated);
+}
+
+TEST(Verifier, ControlConflictDetectedWithMixedRings) {
+    // Two rings with opposite polarities control the same push: the
+    // incorrect initialisation scenario of Section III-A.
+    Graph g("mixed");
+    const auto in = g.add_register("in");
+    const auto a = add_control_ring(g, "a", TokenValue::True);
+    const auto b = add_control_ring(g, "b", TokenValue::False);
+    const auto p = g.add_push("p");
+    const auto sink = g.add_register("sink");
+    g.connect(in, p);
+    g.connect(a.c1, p);
+    g.connect(b.c1, p);
+    g.connect(p, sink);
+    const Verifier verifier(g);
+    const Finding finding = verifier.check_control_conflict();
+    EXPECT_TRUE(finding.violated);
+    EXPECT_NE(finding.detail.find("mixed"), std::string::npos);
+}
+
+TEST(Verifier, ControlConflictTriviallySafeWithSingleControl) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const Finding finding = verifier.check_control_conflict();
+    EXPECT_FALSE(finding.violated);
+    EXPECT_NE(finding.detail.find("trivially safe"), std::string::npos);
+}
+
+TEST(Verifier, ControlConflictAbsentWithAgreeingRings) {
+    Graph g("agree");
+    const auto in = g.add_register("in");
+    const auto a = add_control_ring(g, "a", TokenValue::True);
+    const auto b = add_control_ring(g, "b", TokenValue::True);
+    const auto p = g.add_push("p");
+    const auto sink = g.add_register("sink");
+    g.connect(in, p);
+    g.connect(a.c1, p);
+    g.connect(b.c1, p);
+    g.connect(p, sink);
+    const Verifier verifier(g);
+    EXPECT_FALSE(verifier.check_control_conflict().violated);
+}
+
+TEST(Verifier, PersistenceHoldsForFig1b) {
+    // The Mt/Mf choice at ctrl is exempt (intended data-dependent
+    // choice); everything else must be persistent.
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const Finding finding = verifier.check_persistence();
+    EXPECT_FALSE(finding.violated) << finding.to_string();
+}
+
+TEST(Verifier, CustomPredicateReachable) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const auto& net = verifier.translation().net;
+    const Finding finding = verifier.check_custom(
+        petri::Predicate::marked(net, "Mf_out_1"),
+        "empty token at the output");
+    EXPECT_TRUE(finding.violated);  // reachable by design
+    EXPECT_FALSE(finding.trace.empty());
+}
+
+TEST(Verifier, CustomPredicateUnreachable) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const auto& net = verifier.translation().net;
+    // comp can never hold a token while filt carries a destroyed one.
+    const Finding finding = verifier.check_custom(
+        petri::Predicate::marked(net, "M_comp_1") &&
+            petri::Predicate::marked(net, "Mf_filt_1"),
+        "destroyed token alongside comp data");
+    EXPECT_FALSE(finding.violated);
+    EXPECT_NE(finding.detail.find("unreachable"), std::string::npos);
+}
+
+TEST(Verifier, TruncationReportedAsInconclusive) {
+    const auto m = make_fig1b();
+    VerifyOptions options;
+    options.max_states = 3;
+    const Verifier verifier(m.graph, options);
+    const Finding finding = verifier.check_deadlock();
+    EXPECT_TRUE(finding.truncated);
+}
+
+TEST(Verifier, ReportAggregatesAndPrints) {
+    Graph g("ring2");
+    const auto c1 = g.add_control("c1", true, TokenValue::True);
+    const auto c2 = g.add_control("c2", false, TokenValue::True);
+    g.connect(c1, c2);
+    g.connect(c2, c1);
+    const Verifier verifier(g);
+    const Report report = verifier.verify_all();
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.findings.size(), 3u);
+    EXPECT_NE(report.to_string().find("deadlock"), std::string::npos);
+}
+
+TEST(Verifier, PropertyNames) {
+    EXPECT_EQ(to_string(Property::Deadlock), "deadlock");
+    EXPECT_EQ(to_string(Property::ControlConflict), "control-conflict");
+    EXPECT_EQ(to_string(Property::Persistence), "persistence");
+    EXPECT_EQ(to_string(Property::Custom), "custom");
+}
+
+}  // namespace
+}  // namespace rap::verify
