@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <deque>
 #include <unordered_set>
 
@@ -14,11 +13,6 @@ namespace {
 using testing::add_control_ring;
 using testing::add_linear_pipeline;
 using testing::make_fig1b;
-
-bool has_event(const std::vector<Event>& events, NodeId n, EventKind k) {
-    return std::find(events.begin(), events.end(), Event{n, k}) !=
-           events.end();
-}
 
 /// Asserts the event is enabled, then applies it.
 void step(const Dynamics& dyn, State& s, NodeId n, EventKind k) {
