@@ -5,7 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 #include "chip/lfsr.hpp"
+#include "petri/compiled.hpp"
 #include "dfs/dynamics.hpp"
 #include "dfs/simulator.hpp"
 #include "dfs/translate.hpp"
@@ -65,6 +70,36 @@ void BM_PetriFire(benchmark::State& state) {
 }
 BENCHMARK(BM_PetriFire);
 
+void BM_CompiledFire(benchmark::State& state) {
+    // The compiled counterpart of BM_PetriFire: word-masked enable scan
+    // plus in-place masked firing, no per-step allocation.
+    const dfs::Graph g = fig1b();
+    const auto tr = dfs::to_petri(g);
+    const petri::CompiledNet compiled(tr.net);
+    const petri::Marking m0 = tr.net.initial_marking();
+    petri::Marking m = m0;
+    std::vector<std::uint64_t> enabled(compiled.enabled_words());
+    for (auto _ : state) {
+        compiled.enabled_set(m.word_data(), enabled.data());
+        std::uint32_t first = UINT32_MAX;
+        for (std::size_t w = 0; w < enabled.size(); ++w) {
+            if (enabled[w] != 0) {
+                first = static_cast<std::uint32_t>(
+                    w * 64 +
+                    static_cast<std::size_t>(std::countr_zero(enabled[w])));
+                break;
+            }
+        }
+        if (first == UINT32_MAX) {
+            m = m0;
+            continue;
+        }
+        compiled.fire(m.word_data(), petri::TransitionId{first});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompiledFire);
+
 void BM_Translation(benchmark::State& state) {
     const int stages = static_cast<int>(state.range(0));
     const auto p = ope::build_reconfigurable_ope_dfs(stages, stages);
@@ -92,6 +127,33 @@ void BM_VerifyDeadlockOpe(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_VerifyDeadlockOpe)->Unit(benchmark::kMillisecond);
+
+void BM_ReachabilityOpeStates(benchmark::State& state) {
+    // Full state-space sweep of the 3-stage reconfigurable OPE (~191k
+    // states): the regression-gated states/second figure of the engine.
+    const auto p = ope::build_reconfigurable_ope_dfs(3, 3);
+    const auto tr = dfs::to_petri(p.graph);
+    std::size_t states = 0;
+    for (auto _ : state) {
+        petri::ReachabilityExplorer explorer(tr.net);
+        states = explorer.count_states();
+        benchmark::DoNotOptimize(states);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(states));
+}
+BENCHMARK(BM_ReachabilityOpeStates)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyAllSinglePass(benchmark::State& state) {
+    // Deadlock + control-conflict + persistence in ONE exploration.
+    const auto p = ope::build_reconfigurable_ope_dfs(3, 3);
+    for (auto _ : state) {
+        const verify::Verifier verifier(p.graph);
+        benchmark::DoNotOptimize(verifier.verify_all());
+    }
+}
+BENCHMARK(BM_VerifyAllSinglePass)->Unit(benchmark::kMillisecond);
 
 void BM_CycleAnalysis(benchmark::State& state) {
     const int stages = static_cast<int>(state.range(0));

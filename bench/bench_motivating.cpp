@@ -115,7 +115,8 @@ int main() {
                        util::Table::num(s.time_per_item / d.time_per_item, 2),
                        util::Table::num(s.energy_per_item * 1e12, 2),
                        util::Table::num(d.energy_per_item * 1e12, 2),
-                       util::Table::num(d.energy_per_item / s.energy_per_item, 3),
+                       util::Table::num(
+                           d.energy_per_item / s.energy_per_item, 3),
                        util::Table::num(d.comp_activity, 3)});
     }
     std::printf("%s\n", table.to_ascii().c_str());

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares a google-benchmark JSON result against the committed
+bench/baseline.json. Benchmarks listed in GATED are enforced: a
+regression above --warn prints a warning, above --fail the script exits
+non-zero and fails the CI job. Everything else is informational.
+
+Because CI runners and developer machines differ in absolute speed, each
+benchmark is compared through its ratio to a calibration benchmark
+(CALIBRATION) measured in the same run: machine-speed differences cancel
+while regressions *relative to the rest of the code base* remain
+visible. Pass --absolute to compare raw numbers instead (useful when
+baseline and current come from the same machine).
+
+Refresh the baseline (after intentional performance changes, on the
+reference machine):
+
+    ./build/bench/bench_micro --benchmark_repetitions=5 \
+        --benchmark_report_aggregates_only=true \
+        --benchmark_format=json --benchmark_out=bench/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmarks that gate the build: the reachability/verification engine
+# hot paths this repo's performance story rests on.
+GATED = (
+    "BM_PetriFire",
+    "BM_CompiledFire",
+    "BM_ReachabilityFig1b",
+    "BM_ReachabilityOpeStates",
+    "BM_VerifyAllSinglePass",
+)
+
+# Machine-speed anchor: an engine-independent, allocation-free hot loop.
+CALIBRATION = "BM_DfsRandomStep"
+
+TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load_times(path):
+    """name -> real_time in seconds, preferring median aggregates."""
+    with open(path) as f:
+        data = json.load(f)
+    plain = {}
+    medians = {}
+    for entry in data.get("benchmarks", []):
+        seconds = entry["real_time"] * TIME_UNITS[entry.get("time_unit",
+                                                           "ns")]
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[entry["run_name"]] = seconds
+        else:
+            plain[entry.get("run_name", entry["name"])] = seconds
+    return {**plain, **medians}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--warn", type=float, default=0.10,
+                        help="warn above this regression fraction")
+    parser.add_argument("--fail", type=float, default=0.35,
+                        help="fail gated benchmarks above this fraction")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw times, skip calibration")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+
+    scale = 1.0
+    if not args.absolute:
+        if CALIBRATION not in baseline or CALIBRATION not in current:
+            print(f"calibration benchmark {CALIBRATION} missing; "
+                  "falling back to absolute comparison")
+        else:
+            scale = baseline[CALIBRATION] / current[CALIBRATION]
+            print(f"calibration ({CALIBRATION}): current machine runs "
+                  f"{scale:.2f}x the baseline machine's speed")
+
+    failures = []
+    warnings = []
+    print(f"{'benchmark':40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in sorted(set(baseline) | set(current)):
+        if name == CALIBRATION and not args.absolute:
+            continue
+        gated = any(name == g or name.startswith(g + "/") for g in GATED)
+        tag = "gate" if gated else "    "
+        if name not in current:
+            line = f"{name:40} {'':>12} {'MISSING':>12}"
+            (failures if gated else warnings).append(name + " missing")
+            print(f"{line} [{tag}]")
+            continue
+        if name not in baseline:
+            print(f"{name:40} {'NEW':>12} "
+                  f"{current[name] * 1e9:11.0f}ns {'':>8} [{tag}]")
+            if gated:
+                # A gated benchmark without a baseline entry is an
+                # ungated hot path: refresh bench/baseline.json.
+                failures.append(name + " has no baseline entry")
+            continue
+        base = baseline[name]
+        cur = current[name] * scale
+        delta = (cur - base) / base
+        marker = ""
+        if delta > args.fail and gated:
+            failures.append(f"{name} regressed {delta:+.0%}")
+            marker = " FAIL"
+        elif delta > args.warn:
+            warnings.append(f"{name} regressed {delta:+.0%}")
+            marker = " WARN"
+        print(f"{name:40} {base * 1e9:11.0f}n {cur * 1e9:11.0f}n "
+              f"{delta:+7.1%} [{tag}]{marker}")
+
+    for w in warnings:
+        print(f"::warning::bench: {w}")
+    if failures:
+        for f in failures:
+            print(f"::error::bench: {f}")
+        return 1
+    print("benchmark regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,9 @@ public:
     /// logic starts reset (C = 0).
     static State initial(const Graph& graph);
 
-    bool logic_evaluated(NodeId l) const { return bits_.get(c_base_ + l.value); }
+    bool logic_evaluated(NodeId l) const {
+        return bits_.get(c_base_ + l.value);
+    }
     bool marked(NodeId r) const { return bits_.get(m_base_ + r.value); }
     bool token_true(NodeId r) const { return bits_.get(t_base_ + r.value); }
 

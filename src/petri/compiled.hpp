@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "util/arena.hpp"
+
+namespace rap::petri {
+
+/// Flattened, cache-friendly form of a Net for the reachability hot path.
+///
+/// Construction packs every transition's enabling condition and firing
+/// effect into CSR-indexed (word, mask) term arrays over the marking's
+/// 64-bit payload words:
+///
+///   enabled(t) <=> forall (w,m) in require(t): (marking[w] & m) == m
+///               && forall (w,m) in forbid(t):  (marking[w] & m) == 0
+///   fire(t):       marking[w] = (marking[w] & ~consume(t)) | produce(t)
+///
+/// `require` covers consume + read arcs, `forbid` the produce-only places
+/// (1-safe contact-freeness) — mirroring Net::is_enabled exactly, but in
+/// a handful of word ops instead of per-place bit probes.
+///
+/// An affected-transition index (per transition, the union over the
+/// places its firing toggles of each place's dependent transitions)
+/// enables incremental enabled-set maintenance: after firing t, only
+/// affected(t) can change enabledness, so a successor's enabled set is
+/// its parent's with just those bits re-tested.
+class CompiledNet {
+public:
+    explicit CompiledNet(const Net& net);
+
+    const Net& net() const noexcept { return *net_; }
+    std::size_t place_count() const noexcept { return place_count_; }
+    std::size_t transition_count() const noexcept {
+        return transition_count_;
+    }
+
+    /// 64-bit words per marking payload / per transition-enabled bitset.
+    std::size_t marking_words() const noexcept { return marking_words_; }
+    std::size_t enabled_words() const noexcept { return enabled_words_; }
+
+    bool is_enabled(const std::uint64_t* marking,
+                    TransitionId t) const noexcept;
+
+    /// Fires `t` in place. Precondition: is_enabled(marking, t).
+    void fire(std::uint64_t* marking, TransitionId t) const noexcept;
+
+    /// Computes the full enabled bitset of `marking` into
+    /// `out[0 .. enabled_words())` (bit i <=> transition i enabled).
+    void enabled_set(const std::uint64_t* marking,
+                     std::uint64_t* out) const noexcept;
+
+    /// Incremental maintenance: given `marking` obtained by firing
+    /// `fired`, refreshes in `enabled` (the parent's enabled bitset) the
+    /// bits of exactly the transitions firing `fired` can have changed.
+    void update_enabled(const std::uint64_t* marking, TransitionId fired,
+                        std::uint64_t* enabled) const noexcept;
+
+    /// Transitions whose enabledness can change when `t` fires,
+    /// ascending by id.
+    std::span<const std::uint32_t> affected(TransitionId t) const noexcept {
+        return {affected_.data() + affected_off_[t.value],
+                affected_.data() + affected_off_[t.value + 1]};
+    }
+
+private:
+    struct Term {
+        std::uint32_t word;
+        std::uint64_t mask;
+    };
+    struct Effect {
+        std::uint32_t word;
+        std::uint64_t clear_mask;  // consume-arc places in this word
+        std::uint64_t set_mask;    // produce-arc places in this word
+    };
+
+    const Net* net_;
+    std::size_t place_count_;
+    std::size_t transition_count_;
+    std::size_t marking_words_;
+    std::size_t enabled_words_;
+
+    // Per-transition CSR offsets into the shared term arrays; offsets
+    // have transition_count_+1 entries each.
+    std::vector<std::uint32_t> require_off_;
+    std::vector<std::uint32_t> forbid_off_;
+    std::vector<std::uint32_t> effect_off_;
+    std::vector<Term> require_;
+    std::vector<Term> forbid_;
+    std::vector<Effect> effect_;
+
+    std::vector<std::uint32_t> affected_off_;
+    std::vector<std::uint32_t> affected_;
+};
+
+/// Interned store of markings: fixed-size records in a WordArena, deduped
+/// through an open-addressing (linear probing) hash set of record ids.
+/// Ids are dense discovery-order indices, so BFS bookkeeping can run on
+/// plain arrays. No per-marking heap allocation.
+class MarkingStore {
+public:
+    static constexpr std::uint32_t kNone = UINT32_MAX;
+
+    explicit MarkingStore(std::size_t marking_words);
+
+    std::size_t size() const noexcept { return count_; }
+    const std::uint64_t* operator[](std::uint32_t id) const noexcept {
+        return arena_[id];
+    }
+
+    struct InternResult {
+        std::uint32_t id = kNone;  ///< kNone when the limit blocked insert
+        bool inserted = false;
+    };
+
+    /// Looks `words` up; inserts when absent and size() < capacity_limit.
+    InternResult intern(const std::uint64_t* words,
+                        std::size_t capacity_limit);
+
+    /// Drops every marking, keeping the arena blocks and table storage.
+    void clear();
+
+private:
+    std::uint64_t hash(const std::uint64_t* words) const noexcept;
+    void grow();
+
+    // Table slots pack (hash fragment << 32 | id) so probes reject
+    // non-matches without touching the arena or the hashes array. A real
+    // entry never equals kEmptySlot: kNone is not a valid id.
+    static constexpr std::uint64_t kEmptySlot = UINT64_MAX;
+    static std::uint64_t pack(std::uint64_t h, std::uint32_t id) noexcept {
+        return (h & 0xFFFFFFFF00000000ULL) | id;
+    }
+
+    std::size_t words_;
+    std::size_t count_ = 0;
+    util::WordArena arena_;
+    std::vector<std::uint64_t> hashes_;  // per id, reused when rehashing
+    std::vector<std::uint64_t> table_;
+};
+
+}  // namespace rap::petri

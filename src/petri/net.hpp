@@ -53,7 +53,9 @@ public:
 
     // -- introspection ----------------------------------------------------
     std::size_t place_count() const noexcept { return places_.size(); }
-    std::size_t transition_count() const noexcept { return transitions_.size(); }
+    std::size_t transition_count() const noexcept {
+        return transitions_.size();
+    }
     std::size_t arc_count() const noexcept;
 
     const std::string& place_name(PlaceId p) const;

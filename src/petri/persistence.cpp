@@ -1,90 +1,25 @@
 #include "petri/persistence.hpp"
 
-#include <algorithm>
-#include <cstdint>
-#include <deque>
-#include <unordered_map>
-
-#include "util/strings.hpp"
+#include <utility>
 
 namespace rap::petri {
 
-std::string PersistenceViolation::to_string(const Net& net) const {
-    return util::format(
-        "firing '%s' disables '%s' at %s",
-        net.transition_name(fired).c_str(),
-        net.transition_name(disabled).c_str(),
-        net.describe_marking(marking).c_str());
-}
-
 PersistenceResult check_persistence(const Net& net,
                                     PersistenceOptions options) {
+    ReachabilityOptions ropts;
+    ropts.max_states = options.max_states;
+    ReachabilityExplorer explorer(net, ropts);
+
+    MultiQuery query;
+    query.check_persistence = true;
+    query.persistence_exempt = std::move(options.exempt);
+    query.persistence_stop_at_first = options.stop_at_first;
+    auto multi = explorer.run_query(query);
+
     PersistenceResult result;
-
-    struct Visit {
-        std::int64_t parent;
-        TransitionId via;
-    };
-    std::vector<Marking> order;
-    std::vector<Visit> meta;
-    std::unordered_map<Marking, std::size_t, util::BitVecHash> seen;
-    std::deque<std::size_t> frontier;
-
-    const Marking m0 = net.initial_marking();
-    order.push_back(m0);
-    meta.push_back({-1, TransitionId{}});
-    seen.emplace(m0, 0);
-    frontier.push_back(0);
-
-    auto rebuild = [&](std::size_t index) {
-        Trace trace;
-        std::int64_t cursor = static_cast<std::int64_t>(index);
-        while (cursor > 0) {
-            const auto& v = meta[static_cast<std::size_t>(cursor)];
-            trace.firings.push_back(v.via);
-            cursor = v.parent;
-        }
-        std::reverse(trace.firings.begin(), trace.firings.end());
-        return trace;
-    };
-
-    while (!frontier.empty()) {
-        if (order.size() > options.max_states) {
-            result.truncated = true;
-            break;
-        }
-        const std::size_t index = frontier.front();
-        frontier.pop_front();
-        const Marking current = order[index];
-        const auto enabled = net.enabled_transitions(current);
-
-        for (TransitionId t : enabled) {
-            Marking next = current;
-            net.fire(next, t);
-
-            // Persistence: every *other* transition enabled at `current`
-            // must still be enabled at `next`.
-            for (TransitionId u : enabled) {
-                if (u == t) continue;
-                if (net.is_enabled(next, u)) continue;
-                if (options.exempt && options.exempt(net, t, u)) continue;
-                result.violations.push_back(
-                    {current, t, u, rebuild(index)});
-                if (options.stop_at_first) {
-                    result.states_explored = order.size();
-                    return result;
-                }
-            }
-
-            auto [it, inserted] = seen.emplace(next, order.size());
-            if (!inserted) continue;
-            order.push_back(std::move(next));
-            meta.push_back({static_cast<std::int64_t>(index), t});
-            frontier.push_back(order.size() - 1);
-        }
-    }
-
-    result.states_explored = order.size();
+    result.states_explored = multi.states_explored;
+    result.truncated = multi.truncated;
+    result.violations = std::move(multi.persistence_violations);
     return result;
 }
 

@@ -1,8 +1,6 @@
 #pragma once
 
 #include <functional>
-#include <optional>
-#include <string>
 #include <vector>
 
 #include "petri/net.hpp"
@@ -10,18 +8,8 @@
 
 namespace rap::petri {
 
-/// A persistence violation: at `marking`, `disabled` was enabled, then
-/// firing `fired` withdrew its enabling. In speed-independent circuit
-/// terms this is a potential hazard — the paper reports hunting exactly
-/// these (plus deadlocks) in the OPE DFS models.
-struct PersistenceViolation {
-    Marking marking;
-    TransitionId fired;
-    TransitionId disabled;
-    Trace trace_to_marking;
-
-    std::string to_string(const Net& net) const;
-};
+// PersistenceViolation lives in reachability.hpp: the single-pass
+// multi-property engine reports violations alongside reachability goals.
 
 struct PersistenceOptions {
     std::size_t max_states = 2'000'000;
@@ -42,6 +30,8 @@ struct PersistenceResult {
 };
 
 /// Exhaustive check of output persistence over the reachable state graph.
+/// Runs as a single-property instance of the shared reachability pass
+/// (ReachabilityExplorer::run_query with check_persistence set).
 PersistenceResult check_persistence(const Net& net,
                                     PersistenceOptions options = {});
 

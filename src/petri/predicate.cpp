@@ -30,9 +30,10 @@ Predicate Predicate::enabled(const Net& net, std::string_view transition) {
 }
 
 Predicate Predicate::deadlock() {
-    return Predicate("DEADLOCK", [](const Net& n, const Marking& m) {
-        return n.is_deadlocked(m);
-    });
+    return Predicate(
+        "DEADLOCK",
+        [](const Net& n, const Marking& m) { return n.is_deadlocked(m); },
+        Kind::Deadlock);
 }
 
 Predicate Predicate::custom(std::string description, Eval eval) {

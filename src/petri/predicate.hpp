@@ -19,6 +19,14 @@ class Predicate {
 public:
     using Eval = std::function<bool(const Net&, const Marking&)>;
 
+    /// Structural tag so engines can answer recognised shapes without
+    /// invoking the closure: the reachability explorer tests Deadlock
+    /// goals directly off its incrementally-maintained enabled set.
+    enum class Kind {
+        Generic,   ///< evaluated through the stored closure
+        Deadlock,  ///< "no transition enabled"
+    };
+
     Predicate(std::string description, Eval eval)
         : description_(std::move(description)), eval_(std::move(eval)) {}
 
@@ -27,6 +35,8 @@ public:
     }
 
     const std::string& description() const noexcept { return description_; }
+
+    Kind kind() const noexcept { return kind_; }
 
     // -- atoms --------------------------------------------------------
     /// True when the named place is marked. Throws if the place is absent.
@@ -47,8 +57,14 @@ public:
     Predicate operator!() const;
 
 private:
+    Predicate(std::string description, Eval eval, Kind kind)
+        : description_(std::move(description)),
+          eval_(std::move(eval)),
+          kind_(kind) {}
+
     std::string description_;
     Eval eval_;
+    Kind kind_ = Kind::Generic;
 };
 
 }  // namespace rap::petri

@@ -1,13 +1,24 @@
 #include "petri/reachability.hpp"
 
 #include <algorithm>
-#include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <bit>
+#include <cstring>
 
+#include "util/arena.hpp"
 #include "util/strings.hpp"
 
 namespace rap::petri {
+
+namespace {
+
+constexpr std::size_t kWordBits = util::BitVec::kWordBits;
+
+void copy_words(std::uint64_t* dst, const std::uint64_t* src,
+                std::size_t n) {
+    if (n != 0) std::memcpy(dst, src, n * sizeof(std::uint64_t));
+}
+
+}  // namespace
 
 std::string Trace::to_string(const Net& net) const {
     std::vector<std::string> names;
@@ -16,102 +27,231 @@ std::string Trace::to_string(const Net& net) const {
     return util::join(names, " -> ");
 }
 
+std::string PersistenceViolation::to_string(const Net& net) const {
+    return util::format("firing '%s' disables '%s' at %s",
+                        net.transition_name(fired).c_str(),
+                        net.transition_name(disabled).c_str(),
+                        net.describe_marking(marking).c_str());
+}
+
 ReachabilityExplorer::ReachabilityExplorer(const Net& net,
                                            ReachabilityOptions options)
-    : net_(net), options_(options) {}
+    : net_(net),
+      options_(options),
+      compiled_(net),
+      store_(compiled_.marking_words()) {}
 
 ReachabilityResult ReachabilityExplorer::find(const Predicate& goal) {
-    return run(&goal, /*collect_deadlocks=*/false);
+    MultiQuery query;
+    query.goals = {&goal};
+    return std::move(run_query(query).goals[0]);
+}
+
+std::vector<ReachabilityResult> ReachabilityExplorer::find_all(
+    std::span<const Predicate* const> goals) {
+    MultiQuery query;
+    query.goals.assign(goals.begin(), goals.end());
+    return std::move(run_query(query).goals);
 }
 
 ReachabilityResult ReachabilityExplorer::find_deadlocks() {
-    return run(nullptr, /*collect_deadlocks=*/true);
+    const Predicate dead = Predicate::deadlock();
+    MultiQuery query;
+    query.goals = {&dead};
+    query.collect_deadlocks = true;
+    auto multi = run_query(query);
+    ReachabilityResult result = std::move(multi.goals[0]);
+    result.deadlocks = std::move(multi.deadlocks);
+    return result;
 }
 
 ReachabilityResult ReachabilityExplorer::explore_all() {
-    return run(nullptr, /*collect_deadlocks=*/false);
+    const auto multi = run_query(MultiQuery{});
+    ReachabilityResult result;
+    result.states_explored = multi.states_explored;
+    result.edges_explored = multi.edges_explored;
+    result.truncated = multi.truncated;
+    return result;
 }
 
 std::size_t ReachabilityExplorer::count_states() {
     return explore_all().states_explored;
 }
 
-ReachabilityResult ReachabilityExplorer::run(const Predicate* goal,
-                                             bool collect_deadlocks) {
-    ReachabilityResult result;
-    order_.clear();
+MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
+    MultiResult result;
+    result.goals.resize(query.goals.size());
+
+    const std::size_t mwords = compiled_.marking_words();
+    const std::size_t twords = compiled_.enabled_words();
+    const std::size_t cap = std::max<std::size_t>(options_.max_states, 1);
+
+    store_.clear();
     meta_.clear();
 
-    std::unordered_map<Marking, std::size_t, util::BitVecHash> seen;
-    std::deque<std::size_t> frontier;
+    // Enabled bitset per state, maintained incrementally: a successor's
+    // set is its parent's with only affected(fired) re-tested. Record i
+    // belongs to marking id i (both grow in discovery order).
+    util::WordArena enabled_store(twords);
 
-    const Marking m0 = net_.initial_marking();
-    order_.push_back(m0);
-    meta_.push_back({-1, TransitionId{}});
-    seen.emplace(m0, 0);
-    frontier.push_back(0);
+    std::vector<std::uint32_t> goal_hit(query.goals.size(), kNoParent);
+    std::size_t unmatched = query.goals.size();
+    const bool can_early_stop = options_.stop_at_first_match &&
+                                !query.collect_deadlocks &&
+                                !query.check_persistence &&
+                                !query.goals.empty();
 
-    auto check = [&](std::size_t index) -> bool {
-        const Marking& m = order_[index];
-        if (goal && (*goal)(net_, m)) {
-            result.witness = m;
-            result.witness_trace = rebuild_trace(index);
-            return options_.stop_at_first_match;
-        }
-        if (collect_deadlocks && net_.is_deadlocked(m)) {
-            result.deadlocks.push_back(m);
-            if (!result.witness) {
-                result.witness = m;
-                result.witness_trace = rebuild_trace(index);
-            }
-        }
-        return false;
-    };
+    // Reused scratch buffers — the hot loop performs no heap allocation.
+    Marking scratch(net_.place_count());
+    const std::size_t scratch_words = scratch.word_count();
+    std::vector<std::uint64_t> child(std::max<std::size_t>(mwords, 1), 0);
 
-    if (check(0)) {
-        result.states_explored = 1;
-        return result;
-    }
+    bool stop = false;
 
-    while (!frontier.empty() && !result.truncated) {
-        const std::size_t index = frontier.front();
-        frontier.pop_front();
-        const Marking current = order_[index];
-
-        for (TransitionId t : net_.enabled_transitions(current)) {
-            Marking next = current;
-            net_.fire(next, t);
-            ++result.edges_explored;
-            if (seen.contains(next)) continue;
-            if (order_.size() >= options_.max_states) {
-                result.truncated = true;
+    // Discovery-time evaluation: deadlock collection and every pending
+    // goal, each recording only its *first* (BFS-shortest) hit.
+    auto visit = [&](std::uint32_t id) {
+        const std::uint64_t* enabled = enabled_store[id];
+        bool dead = true;
+        for (std::size_t w = 0; w < twords; ++w) {
+            if (enabled[w] != 0) {
+                dead = false;
                 break;
             }
-            seen.emplace(next, order_.size());
-            order_.push_back(std::move(next));
-            meta_.push_back({static_cast<std::int64_t>(index), t});
-            frontier.push_back(order_.size() - 1);
-            if (check(order_.size() - 1)) {
-                result.states_explored = order_.size();
-                return result;
+        }
+        if (dead && query.collect_deadlocks) {
+            result.deadlocks.push_back(materialize(id));
+        }
+        if (unmatched != 0) {
+            bool scratch_ready = false;
+            for (std::size_t g = 0; g < query.goals.size(); ++g) {
+                if (goal_hit[g] != kNoParent) continue;
+                const Predicate& goal = *query.goals[g];
+                bool match = false;
+                if (goal.kind() == Predicate::Kind::Deadlock) {
+                    match = dead;
+                } else {
+                    if (!scratch_ready) {
+                        copy_words(scratch.word_data(), store_[id],
+                                   scratch_words);
+                        scratch_ready = true;
+                    }
+                    match = goal(net_, scratch);
+                }
+                if (match) {
+                    goal_hit[g] = id;
+                    --unmatched;
+                }
+            }
+        }
+        if (can_early_stop && unmatched == 0) stop = true;
+    };
+
+    const Marking m0 = net_.initial_marking();
+    copy_words(child.data(), m0.word_data(), m0.word_count());
+    const auto root = store_.intern(child.data(), cap);
+    meta_.push_back({kNoParent, 0});
+    enabled_store.push_zero();
+    compiled_.enabled_set(store_[root.id], enabled_store[root.id]);
+    visit(root.id);
+
+    // The BFS frontier is implicit: ids are dense discovery-order
+    // indices and the queue is FIFO, so the frontier is exactly the id
+    // range [head, store_.size()).
+    for (std::uint32_t head = 0; head < store_.size() && !stop; ++head) {
+        const std::uint64_t* marking = store_[head];
+        const std::uint64_t* enabled = enabled_store[head];
+
+        for (std::size_t w = 0; w < twords && !stop; ++w) {
+            std::uint64_t bits = enabled[w];
+            while (bits != 0 && !stop) {
+                const TransitionId t{static_cast<std::uint32_t>(
+                    w * kWordBits +
+                    static_cast<std::size_t>(std::countr_zero(bits)))};
+                bits &= bits - 1;
+
+                ++result.edges_explored;
+                copy_words(child.data(), marking, mwords);
+                compiled_.fire(child.data(), t);
+
+                if (query.check_persistence &&
+                    result.persistence_violations.size() <
+                        query.persistence_max_violations) {
+                    for (std::uint32_t u : compiled_.affected(t)) {
+                        if (u == t.value) continue;
+                        if (((enabled[u / kWordBits] >> (u % kWordBits)) &
+                             1) == 0) {
+                            continue;  // u was not enabled before t fired
+                        }
+                        const TransitionId ut{u};
+                        if (compiled_.is_enabled(child.data(), ut)) continue;
+                        if (query.persistence_exempt &&
+                            query.persistence_exempt(net_, t, ut)) {
+                            continue;
+                        }
+                        result.persistence_violations.push_back(
+                            {materialize(head), t, ut,
+                             rebuild_trace(head)});
+                        if (query.persistence_stop_at_first) {
+                            stop = true;
+                            break;
+                        }
+                        if (result.persistence_violations.size() >=
+                            query.persistence_max_violations) {
+                            break;
+                        }
+                    }
+                    if (stop) break;
+                }
+
+                const auto interned = store_.intern(child.data(), cap);
+                if (interned.id == MarkingStore::kNone) {
+                    // max_states hit mid-expansion: report truncation and
+                    // stop with states_explored == max_states exactly.
+                    result.truncated = true;
+                    stop = true;
+                    break;
+                }
+                if (!interned.inserted) continue;
+
+                meta_.push_back({head, t.value});
+                enabled_store.push(enabled);
+                compiled_.update_enabled(child.data(), t,
+                                         enabled_store[interned.id]);
+                visit(interned.id);
             }
         }
     }
 
-    result.states_explored = order_.size();
+    result.states_explored = store_.size();
+    for (std::size_t g = 0; g < query.goals.size(); ++g) {
+        ReachabilityResult& r = result.goals[g];
+        r.states_explored = result.states_explored;
+        r.edges_explored = result.edges_explored;
+        r.truncated = result.truncated;
+        if (goal_hit[g] != kNoParent) {
+            r.witness = materialize(goal_hit[g]);
+            r.witness_trace = rebuild_trace(goal_hit[g]);
+        }
+    }
     return result;
 }
 
-Trace ReachabilityExplorer::rebuild_trace(std::size_t index) const {
+Trace ReachabilityExplorer::rebuild_trace(std::uint32_t index) const {
     Trace trace;
-    std::int64_t cursor = static_cast<std::int64_t>(index);
-    while (cursor > 0) {
-        const Visit& v = meta_[static_cast<std::size_t>(cursor)];
-        trace.firings.push_back(v.via);
-        cursor = v.parent;
+    std::uint32_t cursor = index;
+    while (meta_[cursor].parent != kNoParent) {
+        trace.firings.push_back(TransitionId{meta_[cursor].via});
+        cursor = meta_[cursor].parent;
     }
     std::reverse(trace.firings.begin(), trace.firings.end());
     return trace;
+}
+
+Marking ReachabilityExplorer::materialize(std::uint32_t id) const {
+    Marking m(net_.place_count());
+    copy_words(m.word_data(), store_[id], m.word_count());
+    return m;
 }
 
 }  // namespace rap::petri

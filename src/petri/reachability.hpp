@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "petri/compiled.hpp"
 #include "petri/net.hpp"
 #include "petri/predicate.hpp"
 
@@ -23,7 +26,8 @@ struct ReachabilityOptions {
     /// Exploration stops (with `truncated = true`) beyond this many states.
     std::size_t max_states = 2'000'000;
     /// When set, exploration stops at the first marking satisfying the
-    /// goal predicate instead of exhausting the state space.
+    /// goal predicate (for multi-goal queries: once every goal matched)
+    /// instead of exhausting the state space.
     bool stop_at_first_match = true;
 };
 
@@ -32,7 +36,9 @@ struct ReachabilityResult {
     std::size_t edges_explored = 0;
     bool truncated = false;
 
-    /// Set when a goal predicate was supplied and matched.
+    /// Set when a goal predicate was supplied and matched. Always the
+    /// *first* match in BFS order, i.e. a shortest witness, regardless of
+    /// stop_at_first_match.
     std::optional<Marking> witness;
     std::optional<Trace> witness_trace;
 
@@ -43,7 +49,59 @@ struct ReachabilityResult {
     bool found() const noexcept { return witness.has_value(); }
 };
 
-/// Explicit-state breadth-first reachability over 1-safe nets.
+/// A persistence violation: at `marking`, `disabled` was enabled, then
+/// firing `fired` withdrew its enabling. In speed-independent circuit
+/// terms this is a potential hazard — the paper reports hunting exactly
+/// these (plus deadlocks) in the OPE DFS models.
+struct PersistenceViolation {
+    Marking marking;
+    TransitionId fired;
+    TransitionId disabled;
+    Trace trace_to_marking;
+
+    std::string to_string(const Net& net) const;
+};
+
+/// One exploration, many questions: reachability goals, deadlock
+/// collection and persistence checking share a single BFS pass instead of
+/// re-exploring the state space per property.
+struct MultiQuery {
+    /// Goal predicates, each answered independently with its first
+    /// (BFS-shortest) witness.
+    std::vector<const Predicate*> goals;
+    /// Collect every deadlocked marking (find_deadlocks semantics).
+    bool collect_deadlocks = false;
+    /// Check output persistence along every explored edge.
+    bool check_persistence = false;
+    /// Transition pairs for which mutual disabling is *intended* choice
+    /// (see PersistenceOptions::exempt).
+    std::function<bool(const Net&, TransitionId, TransitionId)>
+        persistence_exempt;
+    /// Stop the whole exploration at the first persistence violation.
+    bool persistence_stop_at_first = false;
+    /// Keep at most this many violations (exploration continues so other
+    /// questions still get exact answers).
+    std::size_t persistence_max_violations = SIZE_MAX;
+};
+
+struct MultiResult {
+    std::size_t states_explored = 0;
+    std::size_t edges_explored = 0;
+    bool truncated = false;
+
+    /// One entry per MultiQuery::goals entry, all sharing the pass's
+    /// states/edges/truncated counters.
+    std::vector<ReachabilityResult> goals;
+
+    std::vector<Marking> deadlocks;
+    std::vector<PersistenceViolation> persistence_violations;
+};
+
+/// Explicit-state breadth-first reachability over 1-safe nets, running on
+/// a CompiledNet: word-masked enable tests, incremental enabled-set
+/// maintenance through the affected-transition index, and an
+/// arena-backed interned marking store (no per-state heap allocation on
+/// the hot path).
 ///
 /// BFS (rather than DFS) keeps witness traces shortest, which matters for
 /// debuggability of DFS model bugs — the paper reports hand-analysing such
@@ -56,6 +114,16 @@ public:
     /// Searches for a marking satisfying `goal`.
     ReachabilityResult find(const Predicate& goal);
 
+    /// Single-pass multi-goal search: one exploration answers every goal.
+    /// Returns one result per goal (same order), each carrying the shared
+    /// pass's state/edge counts.
+    std::vector<ReachabilityResult> find_all(
+        std::span<const Predicate* const> goals);
+
+    /// Full control: goals + deadlock collection + persistence checking,
+    /// all in one exploration.
+    MultiResult run_query(const MultiQuery& query);
+
     /// Exhaustively explores and collects every deadlocked marking
     /// (respecting max_states).
     ReachabilityResult find_deadlocks();
@@ -66,18 +134,22 @@ public:
     /// Number of distinct reachable markings (convenience over explore_all).
     std::size_t count_states();
 
+    const CompiledNet& compiled() const noexcept { return compiled_; }
+
 private:
     struct Visit {
-        std::int64_t parent;       // index into visit order, -1 for root
-        TransitionId via;          // transition fired from parent
+        std::uint32_t parent;  // MarkingStore id, kNoParent for the root
+        std::uint32_t via;     // transition fired from parent
     };
+    static constexpr std::uint32_t kNoParent = UINT32_MAX;
 
-    ReachabilityResult run(const Predicate* goal, bool collect_deadlocks);
-    Trace rebuild_trace(std::size_t index) const;
+    Trace rebuild_trace(std::uint32_t index) const;
+    Marking materialize(std::uint32_t id) const;
 
     const Net& net_;
     ReachabilityOptions options_;
-    std::vector<Marking> order_;
+    CompiledNet compiled_;
+    MarkingStore store_;
     std::vector<Visit> meta_;
 };
 

@@ -12,11 +12,28 @@ namespace rap::util {
 /// sets. Provides hashing and total ordering so it can key hash maps.
 class BitVec {
 public:
+    static constexpr std::size_t kWordBits = 64;
+
+    /// Number of 64-bit payload words backing `bits` bits.
+    static constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+        return (bits + kWordBits - 1) / kWordBits;
+    }
+
     BitVec() = default;
     explicit BitVec(std::size_t bits);
 
     std::size_t size() const noexcept { return bits_; }
     bool empty() const noexcept { return bits_ == 0; }
+
+    // -- word-level access -------------------------------------------------
+    // The compiled reachability core operates on markings a word at a time
+    // (masked enable tests, memcpy into the interned store). Bits beyond
+    // size() are zero and every writer must keep them zero: hashing and
+    // equality read whole words.
+    std::size_t word_count() const noexcept { return words_.size(); }
+    std::uint64_t word(std::size_t w) const noexcept { return words_[w]; }
+    std::uint64_t* word_data() noexcept { return words_.data(); }
+    const std::uint64_t* word_data() const noexcept { return words_.data(); }
 
     bool get(std::size_t i) const noexcept;
     void set(std::size_t i, bool value) noexcept;
@@ -52,7 +69,6 @@ public:
     }
 
 private:
-    static constexpr std::size_t kWordBits = 64;
     std::size_t bits_ = 0;
     std::vector<std::uint64_t> words_;
 };

@@ -17,6 +17,7 @@ struct LinearFit {
 
 /// Fits y = slope*x + intercept. Requires xs.size() == ys.size() >= 2 and
 /// at least two distinct x values; returns a zero fit otherwise.
-LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
 
 }  // namespace rap::util

@@ -22,8 +22,12 @@ public:
     static std::string num(double value, int precision = 4);
 
     std::size_t rows() const noexcept { return rows_.size(); }
-    const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
-    const std::vector<std::string>& headers() const noexcept { return headers_; }
+    const std::vector<std::string>& row(std::size_t i) const {
+        return rows_[i];
+    }
+    const std::vector<std::string>& headers() const noexcept {
+        return headers_;
+    }
 
     /// Renders an aligned ASCII table with a header separator.
     std::string to_ascii() const;

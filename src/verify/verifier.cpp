@@ -34,6 +34,16 @@ std::string Report::to_string() const {
 Verifier::Verifier(const dfs::Graph& graph, VerifyOptions options)
     : graph_(&graph), options_(options), translation_(dfs::to_petri(graph)) {}
 
+petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
+                                             bool stop_at_first_match) const {
+    petri::ReachabilityOptions ropts;
+    ropts.max_states = options_.max_states;
+    ropts.stop_at_first_match = stop_at_first_match;
+    petri::ReachabilityExplorer explorer(translation_.net, ropts);
+    ++explorations_;
+    return explorer.run_query(query);
+}
+
 Finding Verifier::from_reachability(Property property,
                                     const petri::ReachabilityResult& result,
                                     std::string detail_on_violation) const {
@@ -57,17 +67,27 @@ Finding Verifier::from_reachability(Property property,
     return finding;
 }
 
-Finding Verifier::check_deadlock() const {
-    petri::ReachabilityOptions ropts;
-    ropts.max_states = options_.max_states;
-    petri::ReachabilityExplorer explorer(translation_.net, ropts);
-    const auto result = explorer.find(petri::Predicate::deadlock());
-    return from_reachability(Property::Deadlock, result, "deadlock reachable");
+Finding Verifier::persistence_finding(
+    const petri::MultiResult& multi) const {
+    Finding finding;
+    finding.property = Property::Persistence;
+    finding.states_explored = multi.states_explored;
+    finding.truncated = multi.truncated;
+    finding.violated = !multi.persistence_violations.empty();
+    if (finding.violated) {
+        const auto& v = multi.persistence_violations.front();
+        finding.detail = v.to_string(translation_.net);
+        for (const auto t : v.trace_to_marking.firings) {
+            finding.trace.push_back(translation_.net.transition_name(t));
+        }
+    }
+    return finding;
 }
 
-Finding Verifier::check_control_conflict() const {
-    // Build the Reach predicate: OR over all nodes with >=2 controls of
-    // "every control marked, and both polarities present".
+std::optional<petri::Predicate> Verifier::control_conflict_predicate()
+    const {
+    // The Reach predicate: OR over all nodes with >=2 controls of "every
+    // control marked, and both polarities present".
     const dfs::Graph& g = *graph_;
     struct Watched {
         dfs::NodeId node;
@@ -81,12 +101,7 @@ Finding Verifier::check_control_conflict() const {
             watched.push_back({n, controls, g.control_preset_inversion(n)});
         }
     }
-    if (watched.empty()) {
-        Finding finding;
-        finding.property = Property::ControlConflict;
-        finding.detail = "no node has multiple controls; trivially safe";
-        return finding;
-    }
+    if (watched.empty()) return std::nullopt;
 
     const auto& places = translation_.places;
     auto eval = [watched, &places](const petri::Net&,
@@ -109,60 +124,76 @@ Finding Verifier::check_control_conflict() const {
         }
         return false;
     };
+    return petri::Predicate::custom("control-conflict", std::move(eval));
+}
 
-    petri::ReachabilityOptions ropts;
-    ropts.max_states = options_.max_states;
-    petri::ReachabilityExplorer explorer(translation_.net, ropts);
-    const auto result = explorer.find(
-        petri::Predicate::custom("control-conflict", eval));
-    return from_reachability(Property::ControlConflict, result,
+bool Verifier::persistence_exempt(const petri::Net& net,
+                                  petri::TransitionId a,
+                                  petri::TransitionId b) {
+    // Intended choices: the Mt_x+ / Mf_x+ pair of the same node, i.e. the
+    // non-deterministic outcome of a data-dependent predicate (Fig. 4).
+    const std::string& na = net.transition_name(a);
+    const std::string& nb = net.transition_name(b);
+    const bool a_plus =
+        (util::starts_with(na, "Mt_") || util::starts_with(na, "Mf_")) &&
+        na.back() == '+';
+    const bool b_plus =
+        (util::starts_with(nb, "Mt_") || util::starts_with(nb, "Mf_")) &&
+        nb.back() == '+';
+    if (!a_plus || !b_plus) return false;
+    return na.substr(3) == nb.substr(3);
+}
+
+Finding Verifier::check_deadlock() const {
+    const auto goal = petri::Predicate::deadlock();
+    petri::MultiQuery query;
+    query.goals = {&goal};
+    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
+    return from_reachability(Property::Deadlock, multi.goals[0],
+                             "deadlock reachable");
+}
+
+namespace {
+
+Finding trivially_safe_conflict_finding(std::size_t states_explored,
+                                        bool truncated) {
+    Finding finding;
+    finding.property = Property::ControlConflict;
+    finding.detail = "no node has multiple controls; trivially safe";
+    finding.states_explored = states_explored;
+    finding.truncated = truncated;
+    return finding;
+}
+
+}  // namespace
+
+Finding Verifier::check_control_conflict() const {
+    const auto predicate = control_conflict_predicate();
+    if (!predicate) {
+        return trivially_safe_conflict_finding(0, false);
+    }
+    petri::MultiQuery query;
+    query.goals = {&*predicate};
+    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
+    return from_reachability(Property::ControlConflict, multi.goals[0],
                              "mixed True/False controls disable a node");
 }
 
 Finding Verifier::check_persistence() const {
-    // Intended choices: the Mt_x+ / Mf_x+ pair of the same node, i.e. the
-    // non-deterministic outcome of a data-dependent predicate (Fig. 4).
-    auto exempt = [](const petri::Net& net, petri::TransitionId a,
-                     petri::TransitionId b) {
-        const std::string& na = net.transition_name(a);
-        const std::string& nb = net.transition_name(b);
-        const bool a_plus =
-            (util::starts_with(na, "Mt_") || util::starts_with(na, "Mf_")) &&
-            na.back() == '+';
-        const bool b_plus =
-            (util::starts_with(nb, "Mt_") || util::starts_with(nb, "Mf_")) &&
-            nb.back() == '+';
-        if (!a_plus || !b_plus) return false;
-        return na.substr(3) == nb.substr(3);
-    };
-
-    petri::PersistenceOptions popts;
-    popts.max_states = options_.max_states;
-    popts.exempt = exempt;
-    const auto result = petri::check_persistence(translation_.net, popts);
-
-    Finding finding;
-    finding.property = Property::Persistence;
-    finding.states_explored = result.states_explored;
-    finding.truncated = result.truncated;
-    finding.violated = !result.persistent();
-    if (finding.violated) {
-        const auto& v = result.violations.front();
-        finding.detail = v.to_string(translation_.net);
-        for (const auto t : v.trace_to_marking.firings) {
-            finding.trace.push_back(translation_.net.transition_name(t));
-        }
-    }
-    return finding;
+    petri::MultiQuery query;
+    query.check_persistence = true;
+    query.persistence_exempt = &Verifier::persistence_exempt;
+    query.persistence_stop_at_first = true;
+    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
+    return persistence_finding(multi);
 }
 
 Finding Verifier::check_custom(const petri::Predicate& predicate,
                                std::string description) const {
-    petri::ReachabilityOptions ropts;
-    ropts.max_states = options_.max_states;
-    petri::ReachabilityExplorer explorer(translation_.net, ropts);
-    const auto result = explorer.find(predicate);
-    auto finding = from_reachability(Property::Custom, result,
+    petri::MultiQuery query;
+    query.goals = {&predicate};
+    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
+    auto finding = from_reachability(Property::Custom, multi.goals[0],
                                      "predicate reachable");
     if (finding.detail.empty()) {
         finding.detail = description + ": unreachable";
@@ -172,11 +203,53 @@ Finding Verifier::check_custom(const petri::Predicate& predicate,
     return finding;
 }
 
-Report Verifier::verify_all() const {
+Report Verifier::verify_all(std::span<const CustomCheck> custom) const {
+    // One exploration answers every property: deadlock and
+    // control-conflict (and any custom predicates) as multi-goal
+    // reachability, persistence along the explored edges. The pass runs
+    // to exhaustion — early exit on one property would leave the others
+    // unanswered — but keeps only the first persistence counterexample.
+    const auto deadlock_goal = petri::Predicate::deadlock();
+    const auto conflict = control_conflict_predicate();
+
+    petri::MultiQuery query;
+    query.goals.push_back(&deadlock_goal);
+    if (conflict) query.goals.push_back(&*conflict);
+    for (const CustomCheck& check : custom) {
+        query.goals.push_back(check.predicate);
+    }
+    query.check_persistence = true;
+    query.persistence_exempt = &Verifier::persistence_exempt;
+    query.persistence_max_violations = 1;
+
+    const auto multi = run_exploration(query, /*stop_at_first_match=*/false);
+
     Report report;
-    report.findings.push_back(check_deadlock());
-    report.findings.push_back(check_control_conflict());
-    report.findings.push_back(check_persistence());
+    report.findings.push_back(from_reachability(
+        Property::Deadlock, multi.goals[0], "deadlock reachable"));
+    if (conflict) {
+        report.findings.push_back(from_reachability(
+            Property::ControlConflict, multi.goals[1],
+            "mixed True/False controls disable a node"));
+    } else {
+        report.findings.push_back(trivially_safe_conflict_finding(
+            multi.states_explored, multi.truncated));
+    }
+    report.findings.push_back(persistence_finding(multi));
+
+    const std::size_t first_custom = conflict ? 2 : 1;
+    for (std::size_t i = 0; i < custom.size(); ++i) {
+        auto finding =
+            from_reachability(Property::Custom,
+                              multi.goals[first_custom + i],
+                              "predicate reachable");
+        if (finding.detail.empty()) {
+            finding.detail = custom[i].description + ": unreachable";
+        } else {
+            finding.detail = custom[i].description + ": " + finding.detail;
+        }
+        report.findings.push_back(std::move(finding));
+    }
     return report;
 }
 

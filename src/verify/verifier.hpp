@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,13 @@ struct VerifyOptions {
     std::size_t max_states = 2'000'000;
 };
 
+/// A user-supplied Reach-style predicate to evaluate alongside the
+/// standard checks inside verify_all's single exploration.
+struct CustomCheck {
+    const petri::Predicate* predicate = nullptr;
+    std::string description;
+};
+
 /// Aggregate report of a full verification pass.
 struct Report {
     std::vector<Finding> findings;
@@ -79,19 +87,39 @@ public:
     Finding check_custom(const petri::Predicate& predicate,
                          std::string description) const;
 
-    /// Runs all standard checks.
-    Report verify_all() const;
+    /// Runs all standard checks — deadlock, control conflict, persistence
+    /// — plus any `custom` predicates, sharing ONE state-space
+    /// exploration across every property.
+    Report verify_all(std::span<const CustomCheck> custom = {}) const;
 
-    const dfs::Translation& translation() const noexcept { return translation_; }
+    /// Number of state-space explorations this verifier has run so far.
+    /// Lets callers (and tests) confirm verify_all's single-pass claim.
+    std::size_t explorations_run() const noexcept { return explorations_; }
+
+    const dfs::Translation& translation() const noexcept {
+        return translation_;
+    }
 
 private:
     Finding from_reachability(Property property,
                               const petri::ReachabilityResult& result,
                               std::string detail_on_violation) const;
+    Finding persistence_finding(const petri::MultiResult& multi) const;
+
+    /// The control-conflict Reach predicate; nullopt when no node has
+    /// multiple controls (trivially safe, nothing to explore).
+    std::optional<petri::Predicate> control_conflict_predicate() const;
+    static bool persistence_exempt(const petri::Net& net,
+                                   petri::TransitionId a,
+                                   petri::TransitionId b);
+
+    petri::MultiResult run_exploration(const petri::MultiQuery& query,
+                                       bool stop_at_first_match) const;
 
     const dfs::Graph* graph_;
     VerifyOptions options_;
     dfs::Translation translation_;
+    mutable std::size_t explorations_ = 0;
 };
 
 }  // namespace rap::verify

@@ -145,6 +145,79 @@ TEST(Verifier, ReportAggregatesAndPrints) {
     EXPECT_NE(report.to_string().find("deadlock"), std::string::npos);
 }
 
+TEST(Verifier, VerifyAllRunsExactlyOneExploration) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const Report report = verifier.verify_all();
+    // Deadlock, control-conflict and persistence share ONE state-space
+    // exploration, so they all report the same (full) state count.
+    EXPECT_EQ(verifier.explorations_run(), 1u);
+    EXPECT_EQ(report.findings.size(), 3u);
+    const std::size_t states = report.findings[0].states_explored;
+    EXPECT_GT(states, 0u);
+    for (const auto& finding : report.findings) {
+        if (finding.property == Property::ControlConflict &&
+            finding.detail.find("trivially safe") != std::string::npos) {
+            continue;
+        }
+        EXPECT_EQ(finding.states_explored, states)
+            << verify::to_string(finding.property);
+    }
+}
+
+TEST(Verifier, VerifyAllEvaluatesCustomPredicatesInSharedPass) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const auto& net = verifier.translation().net;
+    const auto reachable = petri::Predicate::marked(net, "Mf_out_1");
+    const auto unreachable = petri::Predicate::marked(net, "M_comp_1") &&
+                             petri::Predicate::marked(net, "Mf_filt_1");
+    const CustomCheck customs[] = {
+        {&reachable, "empty token at the output"},
+        {&unreachable, "destroyed token alongside comp data"},
+    };
+    const Report report = verifier.verify_all(customs);
+    EXPECT_EQ(verifier.explorations_run(), 1u);
+    ASSERT_EQ(report.findings.size(), 5u);
+    EXPECT_TRUE(report.findings[3].violated);
+    EXPECT_FALSE(report.findings[3].trace.empty());
+    EXPECT_NE(report.findings[3].detail.find("empty token"),
+              std::string::npos);
+    EXPECT_FALSE(report.findings[4].violated);
+    EXPECT_NE(report.findings[4].detail.find("unreachable"),
+              std::string::npos);
+}
+
+TEST(Verifier, VerifyAllMatchesIndividualChecks) {
+    Graph g("ring2");
+    const auto c1 = g.add_control("c1", true, TokenValue::True);
+    const auto c2 = g.add_control("c2", false, TokenValue::True);
+    g.connect(c1, c2);
+    g.connect(c2, c1);
+    const Verifier verifier(g);
+    const Report report = verifier.verify_all();
+    const Finding alone = verifier.check_deadlock();
+    EXPECT_EQ(report.findings[0].violated, alone.violated);
+    EXPECT_EQ(report.findings[0].trace, alone.trace);
+}
+
+TEST(Verifier, VerifyAllDeterministicAcrossRuns) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const auto& net = verifier.translation().net;
+    const auto goal = petri::Predicate::marked(net, "Mf_out_1");
+    const CustomCheck customs[] = {{&goal, "witnessed"}};
+    const Report first = verifier.verify_all(customs);
+    const Report second = verifier.verify_all(customs);
+    ASSERT_EQ(first.findings.size(), second.findings.size());
+    for (std::size_t i = 0; i < first.findings.size(); ++i) {
+        EXPECT_EQ(first.findings[i].violated, second.findings[i].violated);
+        EXPECT_EQ(first.findings[i].states_explored,
+                  second.findings[i].states_explored);
+        EXPECT_EQ(first.findings[i].trace, second.findings[i].trace);
+    }
+}
+
 TEST(Verifier, PropertyNames) {
     EXPECT_EQ(to_string(Property::Deadlock), "deadlock");
     EXPECT_EQ(to_string(Property::ControlConflict), "control-conflict");
