@@ -1,0 +1,125 @@
+// flow::Design artifact caching: what one design session saves compared
+// to per-call artifact rebuilding. Reported, not yet gated in
+// bench/baseline.json.
+//
+// Three comparisons on the 3-stage reconfigurable OPE model:
+//   1. fresh CompiledModel build (translation + CompiledNet) vs a cached
+//      compiled_model() access,
+//   2. first Verifier construction vs sequential constructions sharing
+//      the artifact through the process cache (the verify_pipeline.cpp
+//      double-construction),
+//   3. a reconfigure-verify sweep through one session vs rebuilding the
+//      pipeline per depth.
+//
+//   $ ./bench/bench_flow
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rap/rap.hpp"
+
+namespace {
+
+using rap::bench::Stopwatch;
+
+constexpr int kStages = 3;
+constexpr int kFreshBuilds = 25;
+constexpr int kCachedAccesses = 25;
+
+double time_fresh_builds(const rap::dfs::Graph& graph, int n) {
+    const Stopwatch watch;
+    for (int i = 0; i < n; ++i) {
+        const rap::verify::CompiledModel model(graph);
+        if (model.compiled().transition_count() == 0) std::abort();
+    }
+    return watch.elapsed_s() / n;
+}
+
+}  // namespace
+
+int main() {
+    using namespace rap;
+    const Stopwatch total;
+    bench::print_header(
+        "flow::Design artifact reuse",
+        "cached-vs-fresh artifact cost on the 3-stage reconfigurable OPE");
+
+    flow::Design design(ope::build_reconfigurable_ope_dfs(kStages, kStages));
+
+    // 1. Fresh artifact builds vs cached accesses.
+    const double fresh_s = time_fresh_builds(design.graph(), kFreshBuilds);
+    design.compiled_model();  // prime the session cache
+    const Stopwatch cached_watch;
+    for (int i = 0; i < kCachedAccesses; ++i) {
+        if (design.compiled_model()->compiled().transition_count() == 0) {
+            std::abort();
+        }
+    }
+    const double cached_s = cached_watch.elapsed_s() / kCachedAccesses;
+    std::printf("PN artifact (translation + CompiledNet):\n");
+    std::printf("  fresh build   %10.3f us\n", fresh_s * 1e6);
+    std::printf("  cached access %10.3f us  (%.0fx)\n", cached_s * 1e6,
+                cached_s > 0 ? fresh_s / cached_s : 0.0);
+    std::printf("  session PN builds so far: %zu\n\n", design.pn_builds());
+
+    // 2. Verifier construction: first pays the compile (unless the
+    //    process cache already holds the content), later ones share it.
+    {
+        const auto p = ope::build_reconfigurable_ope_dfs(kStages + 1, 3);
+        const Stopwatch first_watch;
+        const verify::Verifier first(p.graph);
+        const double first_s = first_watch.elapsed_s();
+        const Stopwatch rest_watch;
+        for (int i = 0; i < kCachedAccesses; ++i) {
+            const verify::Verifier again(p.graph);
+            if (again.model() != first.model()) std::abort();
+        }
+        const double rest_s = rest_watch.elapsed_s() / kCachedAccesses;
+        std::printf("Verifier(graph) construction:\n");
+        std::printf("  first (compiles)  %10.3f us\n", first_s * 1e6);
+        std::printf("  sequential shared %10.3f us  (%.0fx)\n", rest_s * 1e6,
+                    rest_s > 0 ? first_s / rest_s : 0.0);
+        std::printf("  process artifact builds: %zu\n\n",
+                    verify::artifact_builds());
+    }
+
+    // 3. Reconfigure-verify sweep: one session vs one pipeline per depth.
+    {
+        const Stopwatch session_watch;
+        std::size_t session_states = 0;
+        for (int depth = kStages; depth >= 2; --depth) {
+            design.set_depth(depth);
+            const auto report = design.verify();
+            session_states +=
+                report.findings.front().states_explored;
+        }
+        const double session_s = session_watch.elapsed_s();
+
+        const Stopwatch rebuild_watch;
+        std::size_t rebuild_states = 0;
+        for (int depth = kStages; depth >= 2; --depth) {
+            auto p = ope::build_reconfigurable_ope_dfs(kStages, kStages);
+            pipeline::set_depth(p, depth);
+            // One fresh compile per depth — exactly what the pre-facade
+            // flow paid — injected so the process cache cannot help.
+            const verify::Verifier verifier(
+                p.graph,
+                std::make_shared<const verify::CompiledModel>(p.graph));
+            const auto report = verifier.verify_all();
+            rebuild_states += report.findings.front().states_explored;
+        }
+        const double rebuild_s = rebuild_watch.elapsed_s();
+        if (session_states != rebuild_states) {
+            std::printf("WARNING: state counts differ (%zu vs %zu)\n",
+                        session_states, rebuild_states);
+        }
+        std::printf("depth sweep (%d..2), verify_all per depth:\n", kStages);
+        std::printf("  one session       %10.1f ms\n", session_s * 1e3);
+        std::printf("  rebuild per depth %10.1f ms\n", rebuild_s * 1e3);
+        std::printf("  (exploration dominates; the session saves the "
+                    "per-depth translation+compile+mapping)\n");
+    }
+
+    bench::print_footer(total);
+    return 0;
+}

@@ -1,16 +1,13 @@
 // DFS model explorer: load a .dfs text file (or fall back to a built-in
-// demo), then validate, verify, analyse and simulate it — the batch
-// equivalent of opening a model in the Workcraft GUI.
+// demo), open it as a flow::Design session, then validate, verify,
+// analyse and simulate it — the batch equivalent of opening a model in
+// the Workcraft GUI.
 //
 //   $ ./examples/dfs_explorer [model.dfs]
 
 #include <cstdio>
 
-#include "dfs/dynamics.hpp"
-#include "dfs/serialize.hpp"
-#include "dfs/simulator.hpp"
-#include "perf/cycles.hpp"
-#include "verify/verifier.hpp"
+#include "rap/rap.hpp"
 
 namespace {
 
@@ -52,35 +49,35 @@ int main(int argc, char** argv) {
     }
     std::printf("structure: ok\n\n");
 
-    // Formal verification on the Petri-net semantics.
-    const verify::Verifier verifier(graph);
-    const auto report = verifier.verify_all();
+    const flow::Design design(std::move(graph));
+
+    // Formal verification on the session's cached Petri-net artifact.
+    const auto report = design.verify();
     std::printf("verification:\n%s\n\n", report.to_string().c_str());
 
     // Cycle/bottleneck analysis (the Fig. 5 panel).
-    const auto cycles = perf::analyse_cycles(graph);
+    const auto cycles = perf::analyse_cycles(design.graph());
     std::printf("cycles: %zu; model throughput bound %.4f\n",
                 cycles.cycles.size(), cycles.throughput_bound());
     if (const auto* bottleneck = cycles.bottleneck()) {
         std::printf("slowest cycle: %s\n\n",
-                    bottleneck->describe(graph).c_str());
+                    bottleneck->describe(design.graph()).c_str());
     } else {
         std::printf("acyclic model\n\n");
     }
 
     // A short random simulation with per-node token counts.
-    const dfs::Dynamics dynamics(graph);
-    dfs::Simulator sim(dynamics, 7);
-    dfs::State state = dfs::State::initial(graph);
+    auto sim = design.simulator(7);
+    auto state = design.initial_state();
     const auto stats = sim.run(state, 5000);
     std::printf("simulated %llu events%s\n",
                 static_cast<unsigned long long>(stats.steps),
                 stats.deadlocked ? " — DEADLOCKED" : "");
     std::printf("tokens passed per register:\n");
-    for (const auto n : graph.registers()) {
-        std::printf("  %-16s %llu\n", graph.node_name(n).c_str(),
+    for (const auto n : design.graph().registers()) {
+        std::printf("  %-16s %llu\n", design.graph().node_name(n).c_str(),
                     static_cast<unsigned long long>(stats.marks_at(n)));
     }
-    std::printf("\nfinal state: %s\n", state.describe(graph).c_str());
+    std::printf("\nfinal state: %s\n", state.describe(design.graph()).c_str());
     return report.clean() && !stats.deadlocked ? 0 : 1;
 }

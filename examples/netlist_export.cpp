@@ -1,15 +1,15 @@
 // Netlist backend demo: map a verified DFS model onto the NCL-D dual-rail
 // component library and export the Verilog for a conventional backend
-// flow (Section II-D / III-A). Writes quickstart.v next to the binary.
+// flow (Section II-D / III-A). The flow::Design session carries the model
+// from verification to mapping without rebuilding anything in between.
+// Writes cond_comp.v next to the binary.
 //
 //   $ ./examples/netlist_export [output.v]
 
 #include <cstdio>
 #include <fstream>
 
-#include "dfs/model.hpp"
-#include "netlist/netlist.hpp"
-#include "netlist/verilog.hpp"
+#include "rap/rap.hpp"
 
 int main(int argc, char** argv) {
     using namespace rap;
@@ -29,13 +29,21 @@ int main(int argc, char** argv) {
     g.connect(comp, out);
     g.connect(ctrl, out);
 
-    netlist::Library::Options lib_options;
-    lib_options.data_width = 16;
-    lib_options.sync = netlist::SyncTopology::Tree;
-    const netlist::Netlist mapped(g, netlist::Library(lib_options));
+    flow::DesignOptions options;
+    options.library.data_width = 16;
+    options.library.sync = netlist::SyncTopology::Tree;
+    const flow::Design design(std::move(g), options);
 
+    // Verify before committing to silicon — the paper's ordering.
+    if (!design.verify().clean()) {
+        std::printf("model failed verification; not exporting\n");
+        return 1;
+    }
+
+    const auto& mapped = design.netlist();
     const auto stats = mapped.stats();
-    std::printf("mapped '%s' onto the NCL-D library:\n", g.name().c_str());
+    std::printf("mapped '%s' onto the NCL-D library:\n",
+                design.name().c_str());
     std::printf("  %d instances, %d equivalent gates, %.0f um^2\n",
                 stats.instances, stats.total_gates, stats.area_um2);
     std::printf("  registers=%d controls=%d push=%d pop=%d functions=%d\n",
@@ -43,17 +51,17 @@ int main(int argc, char** argv) {
                 stats.pops, stats.function_blocks);
 
     std::printf("\nper-node timing annotation (feeds the timed simulator):\n");
-    const auto timing = mapped.timing();
+    const auto& timing = design.timing();
     for (const auto& inst : mapped.instances()) {
         std::printf("  %-6s %-14s %2d gates deep, %5.0f ps, %6.1f fJ\n",
-                    g.node_name(inst.node).c_str(), inst.spec.type.c_str(),
-                    inst.spec.crit_path_gates,
+                    design.graph().node_name(inst.node).c_str(),
+                    inst.spec.type.c_str(), inst.spec.crit_path_gates,
                     timing[inst.node.value].delay_s * 1e12,
                     timing[inst.node.value].energy_j * 1e15);
     }
 
     const std::string path = argc > 1 ? argv[1] : "cond_comp.v";
-    const std::string verilog = netlist::to_verilog(mapped);
+    const std::string verilog = design.to_verilog();
     std::ofstream(path) << verilog;
     std::printf("\nwrote %zu bytes of Verilog to %s\n", verilog.size(),
                 path.c_str());

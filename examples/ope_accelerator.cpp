@@ -8,9 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "chip/chip.hpp"
-#include "chip/lfsr.hpp"
-#include "util/strings.hpp"
+#include "rap/rap.hpp"
+#include "rap/util/strings.hpp"
 
 namespace {
 

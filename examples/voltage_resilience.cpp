@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "chip/chip.hpp"
+#include "rap/rap.hpp"
 
 int main() {
     using namespace rap;

@@ -1,19 +1,14 @@
-// Waveform + ASTG export: run the Fig. 1b model on the timed simulator,
-// dump a GTKWave-compatible VCD of every node's marking/evaluation
-// signals, and export the Petri-net semantics in the .g format consumed
-// by petrify / punf / Workcraft.
+// Waveform + ASTG export: run the Fig. 1b model on the design session's
+// timed simulator, dump a GTKWave-compatible VCD of every node's
+// marking/evaluation signals, and export the cached Petri-net semantics
+// in the .g format consumed by petrify / punf / Workcraft.
 //
 //   $ ./examples/waveform_dump [basename]     # writes <basename>.vcd/.g
 
 #include <cstdio>
 #include <fstream>
 
-#include "asim/timed_sim.hpp"
-#include "asim/vcd.hpp"
-#include "dfs/dynamics.hpp"
-#include "dfs/model.hpp"
-#include "dfs/translate.hpp"
-#include "petri/astg.hpp"
+#include "rap/rap.hpp"
 
 int main(int argc, char** argv) {
     using namespace rap;
@@ -33,16 +28,15 @@ int main(int argc, char** argv) {
     g.connect(comp, out);
     g.connect(ctrl, out);
 
-    // Timed run with distinct node delays so the waveform shows realistic
-    // skews; comp is the slow pipelined function.
-    const dfs::Dynamics dyn(g);
-    asim::TimingMap timing = asim::uniform_timing(g, 1e-9);
-    timing[comp.value].delay_s = 8e-9;
-    asim::TimedSimulator sim(dyn, timing, tech::VoltageModel{},
-                             tech::VoltageSchedule::constant(1.2), 0.0);
+    const flow::Design design(std::move(g));
+
+    // Timed run at a constant healthy supply. The simulator comes
+    // annotated straight from the session's netlist mapping, so the
+    // waveform shows the mapped components' real skews.
+    auto sim = design.timed_sim(tech::VoltageSchedule::constant(1.2));
     sim.set_true_bias(0.5, 99);
     sim.enable_event_trace();
-    dfs::State state = dfs::State::initial(g);
+    auto state = design.initial_state();
     asim::RunLimits limits;
     limits.target_marks = 12;
     limits.observe = out;
@@ -55,15 +49,15 @@ int main(int argc, char** argv) {
     const std::string vcd_path = base + ".vcd";
     const std::string astg_path = base + ".g";
 
-    std::ofstream(vcd_path) << asim::to_vcd(g, stats.events_log, 1e-12);
+    std::ofstream(vcd_path) << asim::to_vcd(design.graph(),
+                                            stats.events_log, 1e-12);
     std::printf("wrote %s — open with `gtkwave %s` to see the 4-phase\n"
                 "handshake waves and the bypass cycles (T_filt low)\n",
                 vcd_path.c_str(), vcd_path.c_str());
 
-    const auto tr = dfs::to_petri(g);
-    std::ofstream(astg_path) << petri::to_astg(tr.net);
+    std::ofstream(astg_path) << design.to_astg();
     std::printf("wrote %s — the Fig. 4 net in .g format for petrify / "
-                "punf / Workcraft\n",
-                astg_path.c_str());
+                "punf / Workcraft (translated %zu time(s) this session)\n",
+                astg_path.c_str(), design.pn_builds());
     return 0;
 }

@@ -152,9 +152,11 @@ private:
     petri::TransitionId emit(const std::string& name,
                              const std::vector<petri::PlaceId>& consume,
                              const std::vector<petri::PlaceId>& produce,
-                             const std::vector<Atom>& atoms) {
+                             const std::vector<Atom>& atoms,
+                             Translation::TransitionEvent event) {
         auto& net = result_.net;
         const petri::TransitionId t = net.add_transition(name);
+        result_.events_.push_back(event);
         for (petri::PlaceId p : consume) net.add_input_arc(p, t);
         for (petri::PlaceId p : produce) net.add_output_arc(t, p);
         // Read arcs: deduplicate places (an atom may coincide with a
@@ -186,7 +188,8 @@ private:
                         marked_real(up, k);
                     }
                 }
-                emit("C_" + name + "+", {slots.c0}, {slots.c1}, up);
+                emit("C_" + name + "+", {slots.c0}, {slots.c1}, up,
+                     {n, EventKind::LogicEvaluate, std::nullopt});
 
                 std::vector<Atom> down;
                 for (NodeId k : graph_.preset(n)) {
@@ -196,14 +199,16 @@ private:
                         down.push_back({k, Atom::Var::M, false});
                     }
                 }
-                emit("C_" + name + "-", {slots.c1}, {slots.c0}, down);
+                emit("C_" + name + "-", {slots.c1}, {slots.c0}, down,
+                     {n, EventKind::LogicReset, std::nullopt});
                 break;
             }
             case NodeKind::Register: {
                 emit("M_" + name + "+", {slots.m0}, {slots.m1},
-                     mark_set_atoms(n));
+                     mark_set_atoms(n), {n, EventKind::Mark, std::nullopt});
                 emit("M_" + name + "-", {slots.m1}, {slots.m0},
-                     mark_reset_atoms(n));
+                     mark_reset_atoms(n),
+                     {n, EventKind::Unmark, std::nullopt});
                 break;
             }
             case NodeKind::Control: {
@@ -215,21 +220,26 @@ private:
                     controlled(f_atoms, n, false);
                 }
                 emit("Mt_" + name + "+", {slots.m0, slots.mt0},
-                     {slots.m1, slots.mt1}, t_atoms);
+                     {slots.m1, slots.mt1}, t_atoms,
+                     {n, EventKind::MarkTrue, TokenValue::True});
                 emit("Mf_" + name + "+", {slots.m0, slots.mf0},
-                     {slots.m1, slots.mf1}, f_atoms);
+                     {slots.m1, slots.mf1}, f_atoms,
+                     {n, EventKind::MarkFalse, TokenValue::False});
                 const auto down = mark_reset_atoms(n);
                 emit("Mt_" + name + "-", {slots.m1, slots.mt1},
-                     {slots.m0, slots.mt0}, down);
+                     {slots.m0, slots.mt0}, down,
+                     {n, EventKind::Unmark, TokenValue::True});
                 emit("Mf_" + name + "-", {slots.m1, slots.mf1},
-                     {slots.m0, slots.mf0}, down);
+                     {slots.m0, slots.mf0}, down,
+                     {n, EventKind::Unmark, TokenValue::False});
                 break;
             }
             case NodeKind::Push: {
                 auto t_atoms = mark_set_atoms(n);
                 controlled(t_atoms, n, true);
                 emit("Mt_" + name + "+", {slots.m0, slots.mt0},
-                     {slots.m1, slots.mt1}, t_atoms);
+                     {slots.m1, slots.mt1}, t_atoms,
+                     {n, EventKind::MarkTrue, TokenValue::True});
 
                 // Mf+: consume-and-destroy — no postset atoms.
                 std::vector<Atom> f_atoms;
@@ -237,24 +247,28 @@ private:
                 r_preset_marked(f_atoms, n);
                 controlled(f_atoms, n, false);
                 emit("Mf_" + name + "+", {slots.m0, slots.mf0},
-                     {slots.m1, slots.mf1}, f_atoms);
+                     {slots.m1, slots.mf1}, f_atoms,
+                     {n, EventKind::MarkFalse, TokenValue::False});
 
                 emit("Mt_" + name + "-", {slots.m1, slots.mt1},
-                     {slots.m0, slots.mt0}, mark_reset_atoms(n));
+                     {slots.m0, slots.mt0}, mark_reset_atoms(n),
+                     {n, EventKind::Unmark, TokenValue::True});
 
                 // Mf-: the destroyed token leaves without the R-postset.
                 std::vector<Atom> f_down;
                 preset_logic(f_down, n, false);
                 r_preset_unmarked(f_down, n);
                 emit("Mf_" + name + "-", {slots.m1, slots.mf1},
-                     {slots.m0, slots.mf0}, f_down);
+                     {slots.m0, slots.mf0}, f_down,
+                     {n, EventKind::Unmark, TokenValue::False});
                 break;
             }
             case NodeKind::Pop: {
                 auto t_atoms = mark_set_atoms(n);
                 controlled(t_atoms, n, true);
                 emit("Mt_" + name + "+", {slots.m0, slots.mt0},
-                     {slots.m1, slots.mt1}, t_atoms);
+                     {slots.m1, slots.mt1}, t_atoms,
+                     {n, EventKind::MarkTrue, TokenValue::True});
 
                 // Mf+: self-produced empty token — only output space and
                 // False controls required.
@@ -262,10 +276,12 @@ private:
                 r_postset_unmarked(f_atoms, n);
                 controlled(f_atoms, n, false);
                 emit("Mf_" + name + "+", {slots.m0, slots.mf0},
-                     {slots.m1, slots.mf1}, f_atoms);
+                     {slots.m1, slots.mf1}, f_atoms,
+                     {n, EventKind::MarkFalse, TokenValue::False});
 
                 emit("Mt_" + name + "-", {slots.m1, slots.mt1},
-                     {slots.m0, slots.mt0}, mark_reset_atoms(n));
+                     {slots.m0, slots.mt0}, mark_reset_atoms(n),
+                     {n, EventKind::Unmark, TokenValue::True});
 
                 // Mf-: leaves once taken downstream and controls moved on.
                 std::vector<Atom> f_down;
@@ -274,7 +290,8 @@ private:
                     f_down.push_back({c, Atom::Var::M, false});
                 }
                 emit("Mf_" + name + "-", {slots.m1, slots.mf1},
-                     {slots.m0, slots.mf0}, f_down);
+                     {slots.m0, slots.mf0}, f_down,
+                     {n, EventKind::Unmark, TokenValue::False});
                 break;
             }
         }
@@ -310,6 +327,55 @@ petri::TransitionId Translation::transition_for(const Graph& graph,
         throw std::invalid_argument("no PN transition for event " + key);
     }
     return it->second;
+}
+
+std::string Translation::describe_transition(const Graph& graph,
+                                             petri::TransitionId t) const {
+    const TransitionEvent& e = event(t);
+    const std::string& name = graph.node_name(e.node);
+    const bool token_true = e.token == TokenValue::True;
+    switch (graph.kind(e.node)) {
+        case NodeKind::Logic:
+            return (e.kind == EventKind::LogicEvaluate ? "logic " + name +
+                                                             " evaluates"
+                                                       : "logic " + name +
+                                                             " resets");
+        case NodeKind::Register:
+            return e.kind == EventKind::Mark
+                       ? "register " + name + " accepts a token"
+                       : "register " + name + " releases its token";
+        case NodeKind::Control:
+            switch (e.kind) {
+                case EventKind::MarkTrue:
+                    return "control " + name + " latches True";
+                case EventKind::MarkFalse:
+                    return "control " + name + " latches False";
+                default:
+                    return "control " + name + " releases its " +
+                           (token_true ? "True" : "False") + " token";
+            }
+        case NodeKind::Push:
+            switch (e.kind) {
+                case EventKind::MarkTrue:
+                    return "push " + name + " passes a token";
+                case EventKind::MarkFalse:
+                    return "push " + name + " destroys a bypassed token";
+                default:
+                    return "push " + name + " releases its " +
+                           (token_true ? "passed" : "destroyed") + " token";
+            }
+        case NodeKind::Pop:
+            switch (e.kind) {
+                case EventKind::MarkTrue:
+                    return "pop " + name + " takes a token";
+                case EventKind::MarkFalse:
+                    return "pop " + name + " produces an empty token";
+                default:
+                    return "pop " + name + " releases its " +
+                           (token_true ? "real" : "empty") + " token";
+            }
+    }
+    return "fire " + net.transition_name(t);
 }
 
 petri::Marking Translation::encode(const Graph& graph, const State& s) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,26 @@ struct Translation {
     /// Populated by to_petri; exposed so that verification reports can
     /// resolve names cheaply.
     std::unordered_map<std::string, petri::TransitionId> transitions_;
+
+    /// Reverse of transition_for: the DFS event each PN transition
+    /// realises. `token` is the polarity carried by the Mt/Mf pair of a
+    /// dynamic register (nullopt for logic and static registers).
+    struct TransitionEvent {
+        NodeId node;
+        EventKind kind = EventKind::Mark;
+        std::optional<TokenValue> token;
+    };
+    std::vector<TransitionEvent> events_;  // indexed by TransitionId::value
+
+    const TransitionEvent& event(petri::TransitionId t) const {
+        return events_.at(t.value);
+    }
+
+    /// Renders a PN firing in DFS vocabulary — the witness language of
+    /// the paper's debugging workflow ("push filt destroys a bypassed
+    /// token") instead of the raw firing name ("Mf_filt+").
+    std::string describe_transition(const Graph& graph,
+                                    petri::TransitionId t) const;
 };
 
 /// Translates a (valid) DFS model into its 1-safe read-arc Petri net

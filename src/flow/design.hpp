@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "asim/timed_sim.hpp"
+#include "dfs/dynamics.hpp"
+#include "dfs/model.hpp"
+#include "dfs/simulator.hpp"
+#include "dfs/state.hpp"
+#include "dfs/translate.hpp"
+#include "netlist/netlist.hpp"
+#include "petri/compiled.hpp"
+#include "pipeline/builder.hpp"
+#include "tech/voltage.hpp"
+#include "verify/artifacts.hpp"
+#include "verify/spec.hpp"
+#include "verify/verifier.hpp"
+
+namespace rap::flow {
+
+/// Session-wide knobs, fixed at construction: they parameterise how the
+/// derived artifacts are built, not what the model is.
+struct DesignOptions {
+    verify::VerifyOptions verify{};          ///< state-space cap
+    netlist::Library::Options library{};     ///< NCL-D mapping options
+    tech::ProcessParams process{};           ///< voltage/leakage model
+};
+
+/// One design session over one DFS model — the paper's flow (dataflow
+/// structure → Petri-net verification → direct mapping → silicon) as a
+/// single object. The Design owns the model and lazily builds + caches
+/// every derived artifact:
+///
+///   dynamics()        token-game semantics (structure-only)
+///   compiled_model()  PN translation + CompiledNet (shared artifact)
+///   verifier()        model checker over the shared artifact
+///   netlist()         NCL-D direct mapping
+///   timing()          per-node delay/energy annotation
+///   timed_sim()       event-driven timed simulator over all of the above
+///
+/// Mutating the model invalidates exactly the artifacts it affects:
+/// reconfiguration (set_depth / set_initial / reset_ring) changes only
+/// initial markings, so the PN-derived artifacts rebuild on next use
+/// while the netlist mapping (structure-only) survives; a structural
+/// edit() invalidates everything. Artifact (re)builds are counted —
+/// pn_builds() / netlist_builds() — so tests and benches can assert the
+/// caching contract.
+///
+/// The Design must outlive every reference it hands out; it is pinned in
+/// place (no copies, no moves) because cached artifacts point into the
+/// owned graph.
+class Design {
+public:
+    explicit Design(dfs::Graph graph, DesignOptions options = {});
+
+    /// Wraps a built pipeline, keeping its stage handles available for
+    /// reconfiguration (set_depth / ring access).
+    explicit Design(pipeline::Pipeline pipeline, DesignOptions options = {});
+
+    Design(const Design&) = delete;
+    Design& operator=(const Design&) = delete;
+
+    const dfs::Graph& graph() const noexcept;
+    const std::string& name() const noexcept { return graph().name(); }
+    const DesignOptions& options() const noexcept { return options_; }
+
+    bool has_pipeline() const noexcept { return pipeline_.has_value(); }
+    /// The wrapped pipeline; throws std::logic_error for graph-backed
+    /// designs.
+    const pipeline::Pipeline& pipeline() const;
+
+    // -- reconfiguration (initial-marking mutations) --------------------
+    // These model writing the chip's `config` input between runs: the
+    // structure is untouched, so only the PN-derived artifacts (which
+    // encode the initial marking) are invalidated.
+
+    /// pipeline::set_depth on the wrapped pipeline (throws for
+    /// graph-backed designs or invalid depths).
+    void set_depth(int depth);
+
+    /// dfs::Graph::set_initial with artifact invalidation.
+    void set_initial(dfs::NodeId node, bool marked,
+                     dfs::TokenValue token = dfs::TokenValue::True);
+
+    /// pipeline::reset_ring with artifact invalidation (the mis-init
+    /// seeding hook of the Section III-A workflow).
+    void reset_ring(const pipeline::ControlRing& ring,
+                    dfs::TokenValue polarity);
+
+    // -- structural edits ------------------------------------------------
+
+    /// Mutable access to the model for structural edits (adding nodes or
+    /// arcs). Invalidates EVERY cached artifact. For pipeline-backed
+    /// designs the stage handles keep pointing at the original nodes.
+    dfs::Graph& edit();
+
+    // -- cached artifacts ------------------------------------------------
+
+    const dfs::Dynamics& dynamics() const;
+    std::shared_ptr<const verify::CompiledModel> compiled_model() const;
+    const dfs::Translation& translation() const;
+    const petri::CompiledNet& compiled_net() const;
+    const verify::Verifier& verifier() const;
+    const netlist::Netlist& netlist() const;
+    const asim::TimingMap& timing() const;
+
+    // -- verification -----------------------------------------------------
+
+    /// All standard checks (deadlock, control conflict, persistence) in
+    /// one exploration.
+    verify::Report verify() const;
+
+    /// Exactly the properties `spec` asks for, one exploration.
+    verify::Report verify(const verify::Spec& spec) const;
+
+    // -- simulation -------------------------------------------------------
+
+    dfs::State initial_state() const;
+
+    /// Untimed random token game over the cached dynamics.
+    dfs::Simulator simulator(std::uint64_t seed = 1) const;
+
+    /// Event-driven timed simulator annotated from the mapped netlist
+    /// (delays, energies, leakage gate count) under the given supply
+    /// schedule.
+    asim::TimedSimulator timed_sim(tech::VoltageSchedule schedule) const;
+
+    /// timed_sim at a constant nominal supply.
+    asim::TimedSimulator timed_sim() const;
+
+    // -- exports ----------------------------------------------------------
+
+    std::string to_dot() const;      ///< Graphviz rendering of the model
+    std::string to_astg() const;     ///< .g (petrify/Workcraft) of the PN
+    std::string to_verilog() const;  ///< Verilog of the mapped netlist
+
+    // -- cache observability ----------------------------------------------
+
+    /// Times the PN translation + CompiledNet artifact was (re)built for
+    /// this design. At most one build per model mutation.
+    std::size_t pn_builds() const noexcept { return pn_builds_; }
+
+    /// Times the netlist mapping was (re)built for this design.
+    std::size_t netlist_builds() const noexcept { return netlist_builds_; }
+
+    /// Bumped on every model mutation (reconfiguration or edit()).
+    std::size_t revision() const noexcept { return revision_; }
+
+private:
+    dfs::Graph& graph_mut() noexcept;
+    void invalidate_marking_artifacts();
+    void invalidate_all_artifacts();
+
+    DesignOptions options_;
+    /// Exactly one of the two holds the model.
+    std::optional<pipeline::Pipeline> pipeline_;
+    std::optional<dfs::Graph> graph_;
+
+    mutable std::optional<dfs::Dynamics> dynamics_;
+    mutable std::shared_ptr<const verify::CompiledModel> model_;
+    mutable std::optional<verify::Verifier> verifier_;
+    mutable std::unique_ptr<netlist::Netlist> netlist_;
+    mutable std::optional<asim::TimingMap> timing_;
+
+    mutable std::size_t pn_builds_ = 0;
+    mutable std::size_t netlist_builds_ = 0;
+    std::size_t revision_ = 0;
+};
+
+}  // namespace rap::flow

@@ -38,8 +38,16 @@ ReachabilityExplorer::ReachabilityExplorer(const Net& net,
                                            ReachabilityOptions options)
     : net_(net),
       options_(options),
-      compiled_(net),
-      store_(compiled_.marking_words()) {}
+      owned_(std::in_place, net),
+      compiled_(&*owned_),
+      store_(compiled_->marking_words()) {}
+
+ReachabilityExplorer::ReachabilityExplorer(const CompiledNet& compiled,
+                                           ReachabilityOptions options)
+    : net_(compiled.net()),
+      options_(options),
+      compiled_(&compiled),
+      store_(compiled.marking_words()) {}
 
 ReachabilityResult ReachabilityExplorer::find(const Predicate& goal) {
     MultiQuery query;
@@ -82,8 +90,8 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     MultiResult result;
     result.goals.resize(query.goals.size());
 
-    const std::size_t mwords = compiled_.marking_words();
-    const std::size_t twords = compiled_.enabled_words();
+    const std::size_t mwords = compiled_->marking_words();
+    const std::size_t twords = compiled_->enabled_words();
     const std::size_t cap = std::max<std::size_t>(options_.max_states, 1);
 
     store_.clear();
@@ -152,7 +160,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     const auto root = store_.intern(child.data(), cap);
     meta_.push_back({kNoParent, 0});
     enabled_store.push_zero();
-    compiled_.enabled_set(store_[root.id], enabled_store[root.id]);
+    compiled_->enabled_set(store_[root.id], enabled_store[root.id]);
     visit(root.id);
 
     // The BFS frontier is implicit: ids are dense discovery-order
@@ -172,19 +180,19 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
 
                 ++result.edges_explored;
                 copy_words(child.data(), marking, mwords);
-                compiled_.fire(child.data(), t);
+                compiled_->fire(child.data(), t);
 
                 if (query.check_persistence &&
                     result.persistence_violations.size() <
                         query.persistence_max_violations) {
-                    for (std::uint32_t u : compiled_.affected(t)) {
+                    for (std::uint32_t u : compiled_->affected(t)) {
                         if (u == t.value) continue;
                         if (((enabled[u / kWordBits] >> (u % kWordBits)) &
                              1) == 0) {
                             continue;  // u was not enabled before t fired
                         }
                         const TransitionId ut{u};
-                        if (compiled_.is_enabled(child.data(), ut)) continue;
+                        if (compiled_->is_enabled(child.data(), ut)) continue;
                         if (query.persistence_exempt &&
                             query.persistence_exempt(net_, t, ut)) {
                             continue;
@@ -216,7 +224,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
 
                 meta_.push_back({head, t.value});
                 enabled_store.push(enabled);
-                compiled_.update_enabled(child.data(), t,
+                compiled_->update_enabled(child.data(), t,
                                          enabled_store[interned.id]);
                 visit(interned.id);
             }

@@ -111,6 +111,13 @@ public:
     explicit ReachabilityExplorer(const Net& net,
                                   ReachabilityOptions options = {});
 
+    /// Runs on an externally owned CompiledNet instead of compiling the
+    /// net again — the sharing hook behind verify::CompiledModel and
+    /// flow::Design: N explorations (or N verifiers) amortise ONE compile.
+    /// The artifact must outlive the explorer.
+    explicit ReachabilityExplorer(const CompiledNet& compiled,
+                                  ReachabilityOptions options = {});
+
     /// Searches for a marking satisfying `goal`.
     ReachabilityResult find(const Predicate& goal);
 
@@ -134,7 +141,7 @@ public:
     /// Number of distinct reachable markings (convenience over explore_all).
     std::size_t count_states();
 
-    const CompiledNet& compiled() const noexcept { return compiled_; }
+    const CompiledNet& compiled() const noexcept { return *compiled_; }
 
 private:
     struct Visit {
@@ -148,7 +155,8 @@ private:
 
     const Net& net_;
     ReachabilityOptions options_;
-    CompiledNet compiled_;
+    std::optional<CompiledNet> owned_;  ///< set by the Net constructor only
+    const CompiledNet* compiled_;       ///< owned_ or the shared artifact
     MarkingStore store_;
     std::vector<Visit> meta_;
 };

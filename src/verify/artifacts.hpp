@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "dfs/model.hpp"
+#include "dfs/translate.hpp"
+#include "petri/compiled.hpp"
+
+namespace rap::verify {
+
+/// The immutable compiled verification artifact of one DFS model
+/// snapshot: the Fig. 3 PN translation plus its CompiledNet. Built once
+/// and shared (by shared_ptr) between every Verifier and flow::Design
+/// session that asks for the same model — the expensive part of
+/// constructing a verifier is paid once per model *content*, not once
+/// per construction.
+///
+/// Never copied or moved: the CompiledNet holds a pointer into the
+/// translation's net, so instances live on the heap behind shared_ptr.
+class CompiledModel {
+public:
+    explicit CompiledModel(const dfs::Graph& graph);
+    CompiledModel(const CompiledModel&) = delete;
+    CompiledModel& operator=(const CompiledModel&) = delete;
+
+    const dfs::Translation& translation() const noexcept {
+        return translation_;
+    }
+    const petri::CompiledNet& compiled() const noexcept { return compiled_; }
+    const petri::Net& net() const noexcept { return translation_.net; }
+
+private:
+    dfs::Translation translation_;
+    petri::CompiledNet compiled_;
+};
+
+/// Returns the compiled artifact for `graph`, reusing a cached one when
+/// an identical model (same nodes, edges, inversions and initial
+/// markings) was compiled before. Thread-safe; the cache keeps a small
+/// LRU window of recent models.
+std::shared_ptr<const CompiledModel> compile_model(const dfs::Graph& graph);
+
+/// Total CompiledModel constructions in this process — the artifact
+/// build counter tests use to assert that repeated Verifier
+/// constructions (and flow::Design re-verifications) share one compile.
+std::size_t artifact_builds() noexcept;
+
+}  // namespace rap::verify

@@ -21,10 +21,16 @@ std::string Finding::to_string() const {
     out += util::format(" [%zu states]", states_explored);
     if (!detail.empty()) out += " — " + detail;
     if (!trace.empty()) out += "\n  trace: " + util::join(trace, " -> ");
+    if (!dfs_trace.empty()) {
+        out += "\n  events: " + util::join(dfs_trace, "; ");
+    }
     return out;
 }
 
 std::string Report::to_string() const {
+    // Findings are already in the canonical order (Deadlock,
+    // ControlConflict, Persistence, customs in registration order); the
+    // rendering preserves it so reports diff cleanly across runs.
     std::vector<std::string> lines;
     lines.reserve(findings.size());
     for (const auto& f : findings) lines.push_back(f.to_string());
@@ -32,16 +38,30 @@ std::string Report::to_string() const {
 }
 
 Verifier::Verifier(const dfs::Graph& graph, VerifyOptions options)
-    : graph_(&graph), options_(options), translation_(dfs::to_petri(graph)) {}
+    : graph_(&graph), options_(options), model_(compile_model(graph)) {}
+
+Verifier::Verifier(const dfs::Graph& graph,
+                   std::shared_ptr<const CompiledModel> model,
+                   VerifyOptions options)
+    : graph_(&graph), options_(options), model_(std::move(model)) {}
 
 petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
                                              bool stop_at_first_match) const {
     petri::ReachabilityOptions ropts;
     ropts.max_states = options_.max_states;
     ropts.stop_at_first_match = stop_at_first_match;
-    petri::ReachabilityExplorer explorer(translation_.net, ropts);
+    petri::ReachabilityExplorer explorer(model_->compiled(), ropts);
     ++explorations_;
     return explorer.run_query(query);
+}
+
+void Verifier::fill_traces(Finding& finding,
+                           const petri::Trace& trace) const {
+    const dfs::Translation& tr = model_->translation();
+    for (const auto t : trace.firings) {
+        finding.trace.push_back(tr.net.transition_name(t));
+        finding.dfs_trace.push_back(tr.describe_transition(*graph_, t));
+    }
 }
 
 Finding Verifier::from_reachability(Property property,
@@ -55,13 +75,11 @@ Finding Verifier::from_reachability(Property property,
     if (finding.violated) {
         finding.detail = std::move(detail_on_violation);
         if (result.witness) {
-            finding.detail +=
-                " at " + translation_.net.describe_marking(*result.witness);
+            finding.detail += " at " + model_->translation().net
+                                           .describe_marking(*result.witness);
         }
         if (result.witness_trace) {
-            for (const auto t : result.witness_trace->firings) {
-                finding.trace.push_back(translation_.net.transition_name(t));
-            }
+            fill_traces(finding, *result.witness_trace);
         }
     }
     return finding;
@@ -75,11 +93,14 @@ Finding Verifier::persistence_finding(
     finding.truncated = multi.truncated;
     finding.violated = !multi.persistence_violations.empty();
     if (finding.violated) {
+        const dfs::Translation& tr = model_->translation();
         const auto& v = multi.persistence_violations.front();
-        finding.detail = v.to_string(translation_.net);
-        for (const auto t : v.trace_to_marking.firings) {
-            finding.trace.push_back(translation_.net.transition_name(t));
-        }
+        finding.detail = util::format(
+            "%s — i.e. \"%s\" withdraws the enabling of \"%s\"",
+            v.to_string(tr.net).c_str(),
+            tr.describe_transition(*graph_, v.fired).c_str(),
+            tr.describe_transition(*graph_, v.disabled).c_str());
+        fill_traces(finding, v.trace_to_marking);
     }
     return finding;
 }
@@ -103,7 +124,7 @@ std::optional<petri::Predicate> Verifier::control_conflict_predicate()
     }
     if (watched.empty()) return std::nullopt;
 
-    const auto& places = translation_.places;
+    const auto& places = model_->translation().places;
     auto eval = [watched, &places](const petri::Net&,
                                    const petri::Marking& m) {
         for (const auto& w : watched) {
@@ -144,15 +165,6 @@ bool Verifier::persistence_exempt(const petri::Net& net,
     return na.substr(3) == nb.substr(3);
 }
 
-Finding Verifier::check_deadlock() const {
-    const auto goal = petri::Predicate::deadlock();
-    petri::MultiQuery query;
-    query.goals = {&goal};
-    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
-    return from_reachability(Property::Deadlock, multi.goals[0],
-                             "deadlock reachable");
-}
-
 namespace {
 
 Finding trivially_safe_conflict_finding(std::size_t states_explored,
@@ -167,90 +179,111 @@ Finding trivially_safe_conflict_finding(std::size_t states_explored,
 
 }  // namespace
 
-Finding Verifier::check_control_conflict() const {
-    const auto predicate = control_conflict_predicate();
-    if (!predicate) {
-        return trivially_safe_conflict_finding(0, false);
-    }
-    petri::MultiQuery query;
-    query.goals = {&*predicate};
-    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
-    return from_reachability(Property::ControlConflict, multi.goals[0],
-                             "mixed True/False controls disable a node");
-}
-
-Finding Verifier::check_persistence() const {
-    petri::MultiQuery query;
-    query.check_persistence = true;
-    query.persistence_exempt = &Verifier::persistence_exempt;
-    query.persistence_stop_at_first = true;
-    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
-    return persistence_finding(multi);
-}
-
-Finding Verifier::check_custom(const petri::Predicate& predicate,
-                               std::string description) const {
-    petri::MultiQuery query;
-    query.goals = {&predicate};
-    const auto multi = run_exploration(query, /*stop_at_first_match=*/true);
-    auto finding = from_reachability(Property::Custom, multi.goals[0],
-                                     "predicate reachable");
-    if (finding.detail.empty()) {
-        finding.detail = description + ": unreachable";
-    } else {
-        finding.detail = description + ": " + finding.detail;
-    }
-    return finding;
-}
-
-Report Verifier::verify_all(std::span<const CustomCheck> custom) const {
-    // One exploration answers every property: deadlock and
-    // control-conflict (and any custom predicates) as multi-goal
-    // reachability, persistence along the explored edges. The pass runs
-    // to exhaustion — early exit on one property would leave the others
-    // unanswered — but keeps only the first persistence counterexample.
+Report Verifier::run_spec(const Spec& spec, bool stop_at_first) const {
+    // One exploration answers every requested property: deadlock,
+    // control-conflict and any custom predicates as multi-goal
+    // reachability, persistence along the explored edges. With more than
+    // one open question the pass runs to exhaustion — early exit on one
+    // property would leave the others unanswered — but keeps only the
+    // first persistence counterexample.
     const auto deadlock_goal = petri::Predicate::deadlock();
-    const auto conflict = control_conflict_predicate();
+    std::optional<petri::Predicate> conflict;
+    const bool conflict_possible =
+        spec.wants_control_conflict() &&
+        (conflict = control_conflict_predicate()).has_value();
 
     petri::MultiQuery query;
-    query.goals.push_back(&deadlock_goal);
-    if (conflict) query.goals.push_back(&*conflict);
-    for (const CustomCheck& check : custom) {
-        query.goals.push_back(check.predicate);
+    if (spec.wants_deadlock()) query.goals.push_back(&deadlock_goal);
+    if (conflict_possible) query.goals.push_back(&*conflict);
+    for (const auto& custom : spec.customs()) {
+        query.goals.push_back(&custom.predicate);
     }
-    query.check_persistence = true;
-    query.persistence_exempt = &Verifier::persistence_exempt;
-    query.persistence_max_violations = 1;
-
-    const auto multi = run_exploration(query, /*stop_at_first_match=*/false);
-
-    Report report;
-    report.findings.push_back(from_reachability(
-        Property::Deadlock, multi.goals[0], "deadlock reachable"));
-    if (conflict) {
-        report.findings.push_back(from_reachability(
-            Property::ControlConflict, multi.goals[1],
-            "mixed True/False controls disable a node"));
-    } else {
-        report.findings.push_back(trivially_safe_conflict_finding(
-            multi.states_explored, multi.truncated));
-    }
-    report.findings.push_back(persistence_finding(multi));
-
-    const std::size_t first_custom = conflict ? 2 : 1;
-    for (std::size_t i = 0; i < custom.size(); ++i) {
-        auto finding =
-            from_reachability(Property::Custom,
-                              multi.goals[first_custom + i],
-                              "predicate reachable");
-        if (finding.detail.empty()) {
-            finding.detail = custom[i].description + ": unreachable";
+    if (spec.wants_persistence()) {
+        query.check_persistence = true;
+        query.persistence_exempt = &Verifier::persistence_exempt;
+        if (stop_at_first) {
+            query.persistence_stop_at_first = true;
         } else {
-            finding.detail = custom[i].description + ": " + finding.detail;
+            query.persistence_max_violations = 1;
+        }
+    }
+
+    petri::MultiResult multi;
+    if (!query.goals.empty() || query.check_persistence) {
+        multi = run_exploration(query, stop_at_first);
+    }
+    // else: the only requested property is a trivially safe
+    // control-conflict — nothing to explore.
+
+    // Findings in the canonical deterministic order.
+    Report report;
+    std::size_t goal = 0;
+    if (spec.wants_deadlock()) {
+        report.findings.push_back(from_reachability(
+            Property::Deadlock, multi.goals[goal++], "deadlock reachable"));
+    }
+    if (spec.wants_control_conflict()) {
+        if (conflict_possible) {
+            report.findings.push_back(from_reachability(
+                Property::ControlConflict, multi.goals[goal++],
+                "mixed True/False controls disable a node"));
+        } else {
+            report.findings.push_back(trivially_safe_conflict_finding(
+                multi.states_explored, multi.truncated));
+        }
+    }
+    if (spec.wants_persistence()) {
+        report.findings.push_back(persistence_finding(multi));
+    }
+    for (const auto& custom : spec.customs()) {
+        auto finding = from_reachability(
+            Property::Custom, multi.goals[goal++], "predicate reachable");
+        if (finding.detail.empty()) {
+            finding.detail = custom.description + ": unreachable";
+        } else {
+            finding.detail = custom.description + ": " + finding.detail;
         }
         report.findings.push_back(std::move(finding));
     }
     return report;
+}
+
+Report Verifier::verify(const Spec& spec) const {
+    // A single open question may stop at its first answer; a combined
+    // pass must exhaust the state space so every property gets an exact
+    // answer.
+    const std::size_t questions = (spec.wants_deadlock() ? 1u : 0u) +
+                                  (spec.wants_control_conflict() ? 1u : 0u) +
+                                  (spec.wants_persistence() ? 1u : 0u) +
+                                  spec.customs().size();
+    return run_spec(spec, /*stop_at_first=*/questions <= 1);
+}
+
+Finding Verifier::check_deadlock() const {
+    return std::move(verify(Spec{}.deadlock()).findings.front());
+}
+
+Finding Verifier::check_control_conflict() const {
+    return std::move(verify(Spec{}.control_conflict()).findings.front());
+}
+
+Finding Verifier::check_persistence() const {
+    return std::move(verify(Spec{}.persistence()).findings.front());
+}
+
+Finding Verifier::check_custom(const petri::Predicate& predicate,
+                               std::string description) const {
+    return std::move(
+        verify(Spec{}.custom(std::move(description), predicate))
+            .findings.front());
+}
+
+Report Verifier::verify_all(std::span<const CustomCheck> custom) const {
+    Spec spec = Spec::standard();
+    for (const CustomCheck& check : custom) {
+        spec.custom(check.description, *check.predicate);
+    }
+    return run_spec(spec, /*stop_at_first=*/false);
 }
 
 }  // namespace rap::verify

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -11,6 +12,8 @@
 #include "petri/persistence.hpp"
 #include "petri/predicate.hpp"
 #include "petri/reachability.hpp"
+#include "verify/artifacts.hpp"
+#include "verify/spec.hpp"
 
 namespace rap::verify {
 
@@ -35,6 +38,11 @@ struct Finding {
     std::size_t states_explored = 0;
     std::string detail;              ///< human-readable violation summary
     std::vector<std::string> trace;  ///< PN firing trace witness
+    /// The same witness translated back to DFS-level events through the
+    /// translation's name map ("push filt destroys a bypassed token"
+    /// instead of "Mf_filt+") — the debugging aid of Section III-A,
+    /// aligned entry-for-entry with `trace`.
+    std::vector<std::string> dfs_trace;
 
     std::string to_string() const;
 };
@@ -45,12 +53,18 @@ struct VerifyOptions {
 
 /// A user-supplied Reach-style predicate to evaluate alongside the
 /// standard checks inside verify_all's single exploration.
+///
+/// Legacy surface: the caller owns the predicate storage. Prefer
+/// verify::Spec, which owns its predicates and composes fluently.
 struct CustomCheck {
     const petri::Predicate* predicate = nullptr;
     std::string description;
 };
 
-/// Aggregate report of a full verification pass.
+/// Aggregate report of a full verification pass. Findings are always in
+/// the canonical deterministic order — Deadlock, ControlConflict,
+/// Persistence, then custom properties in their registration order —
+/// regardless of how the Spec was assembled.
 struct Report {
     std::vector<Finding> findings;
 
@@ -60,15 +74,43 @@ struct Report {
         }
         return true;
     }
+
+    /// First finding of the given property; nullptr when the pass did not
+    /// check it.
+    const Finding* find(Property property) const {
+        for (const auto& f : findings) {
+            if (f.property == property) return &f;
+        }
+        return nullptr;
+    }
+
+    /// One line per finding, in the canonical order documented above.
     std::string to_string() const;
 };
 
 /// Verifies DFS models by translating them to their Petri-net semantics
 /// and model-checking the result — the same pipeline the paper automates
 /// in Workcraft with the MPSAT backend.
+///
+/// Construction is cheap when the model was compiled before: the
+/// translation + CompiledNet artifact comes from the shared
+/// verify::compile_model cache, so sequential constructions (and copies)
+/// over the same model content share ONE compile.
 class Verifier {
 public:
     explicit Verifier(const dfs::Graph& graph, VerifyOptions options = {});
+
+    /// Shares an externally cached artifact (flow::Design's constructor
+    /// path). `model` must have been compiled from `graph`'s current
+    /// content.
+    Verifier(const dfs::Graph& graph,
+             std::shared_ptr<const CompiledModel> model,
+             VerifyOptions options = {});
+
+    /// Runs exactly the properties `spec` asks for, sharing ONE
+    /// state-space exploration across all of them, and reports findings
+    /// in the canonical order.
+    Report verify(const Spec& spec) const;
 
     /// Reachability of a marking with no enabled transitions.
     Finding check_deadlock() const;
@@ -97,7 +139,12 @@ public:
     std::size_t explorations_run() const noexcept { return explorations_; }
 
     const dfs::Translation& translation() const noexcept {
-        return translation_;
+        return model_->translation();
+    }
+
+    /// The shared compiled artifact backing this verifier.
+    const std::shared_ptr<const CompiledModel>& model() const noexcept {
+        return model_;
     }
 
 private:
@@ -105,6 +152,7 @@ private:
                               const petri::ReachabilityResult& result,
                               std::string detail_on_violation) const;
     Finding persistence_finding(const petri::MultiResult& multi) const;
+    void fill_traces(Finding& finding, const petri::Trace& trace) const;
 
     /// The control-conflict Reach predicate; nullopt when no node has
     /// multiple controls (trivially safe, nothing to explore).
@@ -113,12 +161,13 @@ private:
                                    petri::TransitionId a,
                                    petri::TransitionId b);
 
+    Report run_spec(const Spec& spec, bool stop_at_first) const;
     petri::MultiResult run_exploration(const petri::MultiQuery& query,
                                        bool stop_at_first_match) const;
 
     const dfs::Graph* graph_;
     VerifyOptions options_;
-    dfs::Translation translation_;
+    std::shared_ptr<const CompiledModel> model_;
     mutable std::size_t explorations_ = 0;
 };
 

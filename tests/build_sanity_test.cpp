@@ -9,6 +9,7 @@
 #include "rap/asim/timed_sim.hpp"
 #include "rap/chip/lfsr.hpp"
 #include "rap/dfs/model.hpp"
+#include "rap/flow/design.hpp"
 #include "rap/netlist/netlist.hpp"
 #include "rap/ope/encoder.hpp"
 #include "rap/perf/cycles.hpp"
@@ -71,6 +72,12 @@ TEST(BuildSanity, EveryModuleLinks) {
     const auto deadlock = verifier.check_deadlock();
     EXPECT_FALSE(deadlock.truncated);
     EXPECT_GT(deadlock.states_explored, 0u);
+
+    // flow
+    const flow::Design design(graph);
+    EXPECT_EQ(design.graph().node_count(), graph.node_count());
+    EXPECT_EQ(design.verify(verify::Spec{}.deadlock()).findings.size(), 1u);
+    EXPECT_EQ(design.pn_builds(), 1u);
 
     // chip
     chip::Lfsr lfsr(1);

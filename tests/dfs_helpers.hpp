@@ -5,8 +5,10 @@
 // reconfigurable stage methodology (Fig. 6c).
 
 #include <string>
+#include <vector>
 
 #include "dfs/model.hpp"
+#include "pipeline/builder.hpp"
 
 namespace rap::dfs::testing {
 
@@ -55,6 +57,23 @@ inline ControlRing add_control_ring(Graph& g, const std::string& prefix,
     g.connect(ring.c2, ring.c3);
     g.connect(ring.c3, ring.c1);
     return ring;
+}
+
+/// Per-stage options of the Fig. 7 reconfigurable OPE shape: stage 1
+/// static, stage 2 reconfigurable but reusing its global ring for the
+/// local interface (the s2 optimisation), stages 3..n fully ringed;
+/// the first `depth` stages start active.
+inline std::vector<pipeline::StageOptions> ope_style_stages(int n,
+                                                            int depth) {
+    std::vector<pipeline::StageOptions> options;
+    for (int i = 0; i < n; ++i) {
+        pipeline::StageOptions opt;
+        opt.reconfigurable = i > 0;
+        opt.reuse_global_ring_for_local = (i == 1);
+        opt.active = i < depth;
+        options.push_back(opt);
+    }
+    return options;
 }
 
 /// A linear static pipeline: in -> f1 -> r1 -> f2 -> r2 -> ... -> fN -> rN.

@@ -9,6 +9,7 @@
 #include "chip/chip.hpp"
 #include "dfs/serialize.hpp"
 #include "dfs/simulator.hpp"
+#include "flow/design.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/verilog.hpp"
 #include "ope/dfs_models.hpp"
@@ -19,32 +20,36 @@ namespace rap {
 namespace {
 
 TEST(Integration, FullFlowOnReconfigurableOpe) {
-    // 1. Model (Fig. 7 shape, 3 stages for tractable verification).
-    const auto model = ope::build_reconfigurable_ope_dfs(3, 3);
-    ASSERT_TRUE(model.graph.validate().empty());
+    // 1. Model (Fig. 7 shape, 3 stages for tractable verification),
+    //    opened as ONE design session carrying every later step.
+    flow::DesignOptions options;
+    options.verify.max_states = 3'000'000;
+    const flow::Design design(ope::build_reconfigurable_ope_dfs(3, 3),
+                              options);
+    ASSERT_TRUE(design.graph().validate().empty());
 
     // 2. Serialisation survives the full structure.
-    const auto reloaded = dfs::from_text(dfs::to_text(model.graph));
-    EXPECT_EQ(reloaded.node_count(), model.graph.node_count());
-    EXPECT_EQ(reloaded.edge_count(), model.graph.edge_count());
+    const auto reloaded = dfs::from_text(dfs::to_text(design.graph()));
+    EXPECT_EQ(reloaded.node_count(), design.graph().node_count());
+    EXPECT_EQ(reloaded.edge_count(), design.graph().edge_count());
 
     // 3. Formal verification is clean.
-    verify::VerifyOptions voptions;
-    voptions.max_states = 3'000'000;
-    const verify::Verifier verifier(model.graph, voptions);
-    const auto report = verifier.verify_all();
+    const auto report = design.verify();
     EXPECT_TRUE(report.clean()) << report.to_string();
 
     // 4. Performance analysis sees live cycles only.
-    const auto cycles = perf::analyse_cycles(model.graph);
+    const auto cycles = perf::analyse_cycles(design.graph());
     EXPECT_FALSE(cycles.cycles.empty());
     EXPECT_GT(cycles.throughput_bound(), 0.0);
 
-    // 5. Netlist mapping and Verilog export.
-    const netlist::Netlist mapped(model.graph, netlist::Library{});
-    EXPECT_EQ(mapped.instances().size(), model.graph.node_count());
-    const std::string verilog = netlist::to_verilog(mapped);
+    // 5. Netlist mapping and Verilog export off the same session; the
+    //    PN artifact from step 3 was not rebuilt along the way.
+    EXPECT_EQ(design.netlist().instances().size(),
+              design.graph().node_count());
+    const std::string verilog = design.to_verilog();
     EXPECT_NE(verilog.find("module ope_reconfig_3"), std::string::npos);
+    EXPECT_EQ(design.pn_builds(), 1u);
+    EXPECT_EQ(design.netlist_builds(), 1u);
 
     // 6. Timed simulation of the mapped design completes and the
     //    mapped timing covers every node.

@@ -2,6 +2,8 @@
 
 #include "dfs/dynamics.hpp"
 #include "dfs/simulator.hpp"
+#include "dfs_helpers.hpp"
+#include "flow/design.hpp"
 #include "pipeline/builder.hpp"
 #include "verify/verifier.hpp"
 
@@ -13,20 +15,10 @@ using dfs::Simulator;
 using dfs::State;
 using dfs::TokenValue;
 
+using dfs::testing::ope_style_stages;
+
 std::vector<StageOptions> static_stages(int n) {
     return std::vector<StageOptions>(static_cast<std::size_t>(n));
-}
-
-std::vector<StageOptions> ope_style_stages(int n, int depth) {
-    std::vector<StageOptions> options;
-    for (int i = 0; i < n; ++i) {
-        StageOptions opt;
-        opt.reconfigurable = i > 0;
-        opt.reuse_global_ring_for_local = (i == 1);
-        opt.active = i < depth;
-        options.push_back(opt);
-    }
-    return options;
 }
 
 TEST(ControlRingBuilder, OscillatesAndResets) {
@@ -182,13 +174,16 @@ TEST(Pipeline, OutputRateIndependentOfDepth) {
 }
 
 TEST(Pipeline, VerifiedDeadlockFreeAtEveryDepth) {
+    // One design session, reconfigured between verifications: set_depth
+    // invalidates the PN artifact, so each depth is checked against its
+    // own initial marking.
+    flow::DesignOptions options;
+    options.verify.max_states = 3'000'000;
+    flow::Design design(build_pipeline("p", ope_style_stages(3, 3)),
+                        options);
     for (int depth : {2, 3}) {
-        Pipeline p = build_pipeline("p", ope_style_stages(3, 3));
-        set_depth(p, depth);
-        verify::VerifyOptions options;
-        options.max_states = 3'000'000;
-        const verify::Verifier verifier(p.graph, options);
-        const auto finding = verifier.check_deadlock();
+        design.set_depth(depth);
+        const auto finding = design.verifier().check_deadlock();
         EXPECT_FALSE(finding.violated)
             << "depth " << depth << ": " << finding.to_string();
         EXPECT_FALSE(finding.truncated);
@@ -199,12 +194,29 @@ TEST(Pipeline, GapConfigurationDeadlocks) {
     // Invalid configuration — an active stage after a bypassed one — is
     // exactly the "incorrect initialisation of control registers" class
     // of bugs the paper reports catching by verification.
-    Pipeline p = build_pipeline("p", ope_style_stages(3, 3));
-    reset_ring(p.graph, p.stages[1].global_ring, TokenValue::False);
+    flow::Design design(build_pipeline("p", ope_style_stages(3, 3)));
     // stage 3 stays active while stage 2 is bypassed.
-    const verify::Verifier verifier(p.graph);
-    const auto finding = verifier.check_deadlock();
+    design.reset_ring(design.pipeline().stages[1].global_ring,
+                      TokenValue::False);
+    const auto finding = design.verifier().check_deadlock();
     EXPECT_TRUE(finding.violated);
+    // The witness is reported both as PN firings and translated back to
+    // DFS-level events (the paper's debugging vocabulary): token moves of
+    // registers and control rings, not raw "Mt_..+" firing names.
+    ASSERT_FALSE(finding.dfs_trace.empty());
+    ASSERT_EQ(finding.dfs_trace.size(), finding.trace.size());
+    bool mentions_dfs_vocabulary = false;
+    for (const auto& step : finding.dfs_trace) {
+        EXPECT_EQ(step.find("Mt_"), std::string::npos) << step;
+        EXPECT_EQ(step.find("Mf_"), std::string::npos) << step;
+        if (step.find("control ") != std::string::npos ||
+            step.find("register ") != std::string::npos ||
+            step.find("push ") != std::string::npos ||
+            step.find("pop ") != std::string::npos) {
+            mentions_dfs_vocabulary = true;
+        }
+    }
+    EXPECT_TRUE(mentions_dfs_vocabulary);
 }
 
 }  // namespace

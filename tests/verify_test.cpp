@@ -218,6 +218,136 @@ TEST(Verifier, VerifyAllDeterministicAcrossRuns) {
     }
 }
 
+TEST(Verifier, WitnessTraceTranslatedToDfsEvents) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const auto& net = verifier.translation().net;
+    const Finding finding = verifier.check_custom(
+        petri::Predicate::marked(net, "Mf_out_1"), "empty output");
+    ASSERT_TRUE(finding.violated);
+    // Every PN firing of the witness has a DFS-level rendering, aligned
+    // entry-for-entry; the final step is the pop emitting the empty
+    // token — the event the predicate watches — in DFS vocabulary.
+    ASSERT_EQ(finding.dfs_trace.size(), finding.trace.size());
+    ASSERT_FALSE(finding.dfs_trace.empty());
+    EXPECT_EQ(finding.dfs_trace.back(), "pop out produces an empty token");
+    EXPECT_EQ(finding.trace.back(), "Mf_out+");
+    // Finding::to_string carries both vocabularies.
+    EXPECT_NE(finding.to_string().find("events: "), std::string::npos);
+}
+
+TEST(Verifier, SequentialConstructionsShareCompiledArtifact) {
+    // Two verifiers over the same (unmutated) model content pay for ONE
+    // translation + CompiledNet build — the artifact is shared through
+    // the process-wide cache.
+    Graph g("artifact_sharing_model");
+    const auto c1 = g.add_control("s1", true, TokenValue::True);
+    const auto c2 = g.add_control("s2", false, TokenValue::True);
+    const auto c3 = g.add_control("s3", false, TokenValue::True);
+    g.connect(c1, c2);
+    g.connect(c2, c3);
+    g.connect(c3, c1);
+    const std::size_t before = artifact_builds();
+    const Verifier first(g);
+    const Verifier second(g);
+    EXPECT_EQ(artifact_builds(), before + 1);
+    EXPECT_EQ(first.model().get(), second.model().get());
+    // Both verifiers still answer independently.
+    EXPECT_FALSE(first.check_deadlock().violated);
+    EXPECT_FALSE(second.check_deadlock().violated);
+}
+
+TEST(Verifier, MutatedModelRecompiles) {
+    Graph g("artifact_mutation_model");
+    const auto c1 = g.add_control("m1", true, TokenValue::True);
+    const auto c2 = g.add_control("m2", false, TokenValue::True);
+    const auto c3 = g.add_control("m3", false, TokenValue::True);
+    g.connect(c1, c2);
+    g.connect(c2, c3);
+    g.connect(c3, c1);
+    const Verifier before_mutation(g);
+    // Changing the initial marking changes the PN, so a fresh verifier
+    // must see a fresh artifact...
+    g.set_initial(c1, true, TokenValue::False);
+    const Verifier after_mutation(g);
+    EXPECT_NE(before_mutation.model().get(), after_mutation.model().get());
+    // ...and restoring the content brings the cached artifact back.
+    g.set_initial(c1, true, TokenValue::True);
+    const Verifier restored(g);
+    EXPECT_EQ(before_mutation.model().get(), restored.model().get());
+}
+
+TEST(Verifier, ArtifactCacheKeyNotForgeableThroughNames) {
+    // Separator characters inside node names must not collide two
+    // different models onto one cache key (names are length-prefixed in
+    // the fingerprint).
+    Graph a("fp_collision");
+    a.add_register("x:1:1:1;y", true);
+    Graph b("fp_collision");
+    b.add_register("x", true);
+    b.add_register("y", true);
+    const Verifier va(a);
+    const Verifier vb(b);
+    EXPECT_NE(va.model().get(), vb.model().get());
+    EXPECT_EQ(va.translation().net.place_count(), 2u);
+    EXPECT_EQ(vb.translation().net.place_count(), 4u);
+}
+
+TEST(Spec, CanonicalFindingOrderRegardlessOfRegistration) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    // Registered persistence-first; reported Deadlock, Persistence.
+    const Report report =
+        verifier.verify(Spec{}.persistence().deadlock());
+    ASSERT_EQ(report.findings.size(), 2u);
+    EXPECT_EQ(report.findings[0].property, Property::Deadlock);
+    EXPECT_EQ(report.findings[1].property, Property::Persistence);
+}
+
+TEST(Spec, OwnsItsPredicates) {
+    // The spec owns predicate storage, so it can be assembled from
+    // temporaries and outlive the expressions that built it (the legacy
+    // CustomCheck span required caller-owned predicates).
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    Spec spec;
+    {
+        const auto& net = verifier.translation().net;
+        spec.custom("empty token at the output",
+                    petri::Predicate::marked(net, "Mf_out_1"));
+        spec.custom("destroyed token alongside comp data",
+                    petri::Predicate::marked(net, "M_comp_1") &&
+                        petri::Predicate::marked(net, "Mf_filt_1"));
+    }
+    const Report report = verifier.verify(spec);
+    ASSERT_EQ(report.findings.size(), 2u);
+    EXPECT_TRUE(report.findings[0].violated);
+    EXPECT_FALSE(report.findings[1].violated);
+    EXPECT_NE(report.findings[1].detail.find("unreachable"),
+              std::string::npos);
+}
+
+TEST(Spec, StandardMatchesVerifyAll) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    const Report via_spec = verifier.verify(Spec::standard());
+    const Report via_all = verifier.verify_all();
+    ASSERT_EQ(via_spec.findings.size(), via_all.findings.size());
+    for (std::size_t i = 0; i < via_spec.findings.size(); ++i) {
+        EXPECT_EQ(via_spec.findings[i].property,
+                  via_all.findings[i].property);
+        EXPECT_EQ(via_spec.findings[i].violated,
+                  via_all.findings[i].violated);
+    }
+}
+
+TEST(Spec, SinglePropertySpecStillExploresOnce) {
+    const auto m = make_fig1b();
+    const Verifier verifier(m.graph);
+    verifier.verify(Spec{}.deadlock());
+    EXPECT_EQ(verifier.explorations_run(), 1u);
+}
+
 TEST(Verifier, PropertyNames) {
     EXPECT_EQ(to_string(Property::Deadlock), "deadlock");
     EXPECT_EQ(to_string(Property::ControlConflict), "control-conflict");

@@ -4,6 +4,7 @@
 #include "dfs/dynamics.hpp"
 #include "dfs/simulator.hpp"
 #include "dfs/translate.hpp"
+#include "flow/design.hpp"
 #include "pipeline/wagging.hpp"
 #include "verify/verifier.hpp"
 
@@ -156,14 +157,19 @@ TEST(Wagging, BranchesAlternateAndMergeKeepsRate) {
 }
 
 TEST(Wagging, VerifiedDeadlockFree) {
-    const auto m = make_wagging();
-    verify::VerifyOptions options;
-    options.max_states = 3'000'000;
-    const verify::Verifier verifier(m.graph, options);
-    const auto finding = verifier.check_deadlock();
-    EXPECT_FALSE(finding.violated) << finding.to_string();
-    EXPECT_FALSE(finding.truncated);
-    EXPECT_FALSE(verifier.check_control_conflict().violated);
+    // Through the design session: one Spec, one exploration, both
+    // properties answered off the session's cached compiled artifact.
+    auto m = make_wagging();
+    flow::DesignOptions options;
+    options.verify.max_states = 3'000'000;
+    const flow::Design design(std::move(m.graph), options);
+    const auto report = design.verify(
+        verify::Spec{}.deadlock().control_conflict());
+    EXPECT_TRUE(report.clean()) << report.to_string();
+    const auto* deadlock = report.find(verify::Property::Deadlock);
+    ASSERT_NE(deadlock, nullptr);
+    EXPECT_FALSE(deadlock->truncated);
+    EXPECT_EQ(design.verifier().explorations_run(), 1u);
 }
 
 TEST(Wagging, DoublesThroughputOfSlowFunction) {
