@@ -26,6 +26,7 @@
 #include "rap/petri/compiled.hpp"
 #include "rap/petri/dot.hpp"
 #include "rap/petri/net.hpp"
+#include "rap/petri/parallel.hpp"
 #include "rap/petri/persistence.hpp"
 #include "rap/petri/predicate.hpp"
 #include "rap/petri/reachability.hpp"

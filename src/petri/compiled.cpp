@@ -175,26 +175,16 @@ void CompiledNet::update_enabled(const std::uint64_t* marking,
 
 // ------------------------------------------------------- MarkingStore --
 
-MarkingStore::MarkingStore(std::size_t marking_words)
+MarkingStore::MarkingStore(std::size_t marking_words,
+                           std::size_t meta_words)
     : words_(std::max<std::size_t>(marking_words, 1)),
-      arena_(words_),
+      meta_words_(meta_words),
+      arena_(words_ + meta_words_),
       table_(std::size_t{1} << 12, kEmptySlot) {}
 
 std::uint64_t MarkingStore::hash(const std::uint64_t* words)
     const noexcept {
-    // FNV-1a over the payload words plus a splitmix64 finisher: FNV alone
-    // clusters under linear probing.
-    std::uint64_t h = 1469598103934665603ULL;
-    for (std::size_t i = 0; i < words_; ++i) {
-        h ^= words[i];
-        h *= 1099511628211ULL;
-    }
-    h ^= h >> 30;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    h ^= h >> 27;
-    h *= 0x94d049bb133111ebULL;
-    h ^= h >> 31;
-    return h;
+    return hash_marking_words(words, words_);
 }
 
 void MarkingStore::grow() {
@@ -228,7 +218,10 @@ MarkingStore::InternResult MarkingStore::intern(
         slot = (slot + 1) & mask;
     }
     if (count_ >= capacity_limit) return {kNone, false};
-    const auto id = static_cast<std::uint32_t>(arena_.push(words));
+    // Record = marking payload + zeroed meta area (the arena record is
+    // wider than the interned key when meta_words_ > 0).
+    const auto id = static_cast<std::uint32_t>(arena_.push_zero());
+    std::memcpy(arena_[id], words, words_ * sizeof(std::uint64_t));
     hashes_.push_back(h);
     table_[slot] = pack(h, id);
     ++count_;

@@ -10,6 +10,24 @@
 
 namespace rap::petri {
 
+/// Marking payload hash shared by the sequential and concurrent interning
+/// stores: FNV-1a over the words plus a splitmix64 finisher (FNV alone
+/// clusters under linear probing).
+inline std::uint64_t hash_marking_words(const std::uint64_t* words,
+                                        std::size_t count) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < count; ++i) {
+        h ^= words[i];
+        h *= 1099511628211ULL;
+    }
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+}
+
 /// Flattened, cache-friendly form of a Net for the reachability hot path.
 ///
 /// Construction packs every transition's enabling condition and firing
@@ -101,16 +119,33 @@ private:
 /// through an open-addressing (linear probing) hash set of record ids.
 /// Ids are dense discovery-order indices, so BFS bookkeeping can run on
 /// plain arrays. No per-marking heap allocation.
+///
+/// Each record optionally carries `meta_words` extra payload words after
+/// the marking (zero-initialised on intern, ignored by hashing and
+/// dedup). The reachability engines keep per-state bookkeeping that must
+/// survive any visiting order — predecessor links for witness traces —
+/// directly in the record instead of in side arrays indexed by insertion
+/// order.
 class MarkingStore {
 public:
     static constexpr std::uint32_t kNone = UINT32_MAX;
 
-    explicit MarkingStore(std::size_t marking_words);
+    explicit MarkingStore(std::size_t marking_words,
+                          std::size_t meta_words = 0);
 
     std::size_t size() const noexcept { return count_; }
     const std::uint64_t* operator[](std::uint32_t id) const noexcept {
         return arena_[id];
     }
+
+    /// The record's meta area: `meta_words()` words owned by the caller.
+    std::uint64_t* meta(std::uint32_t id) noexcept {
+        return arena_[id] + words_;
+    }
+    const std::uint64_t* meta(std::uint32_t id) const noexcept {
+        return arena_[id] + words_;
+    }
+    std::size_t meta_words() const noexcept { return meta_words_; }
 
     struct InternResult {
         std::uint32_t id = kNone;  ///< kNone when the limit blocked insert
@@ -137,6 +172,7 @@ private:
     }
 
     std::size_t words_;
+    std::size_t meta_words_;
     std::size_t count_ = 0;
     util::WordArena arena_;
     std::vector<std::uint64_t> hashes_;  // per id, reused when rehashing

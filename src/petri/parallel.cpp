@@ -1,0 +1,770 @@
+#include "petri/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <bit>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace rap::petri {
+
+namespace {
+
+constexpr std::size_t kWordBits = util::BitVec::kWordBits;
+
+void copy_words(std::uint64_t* dst, const std::uint64_t* src,
+                std::size_t n) {
+    if (n != 0) std::memcpy(dst, src, n * sizeof(std::uint64_t));
+}
+
+/// Deterministic total order on fixed-width word payloads — the
+/// canonical tie-break the parallel engine uses wherever the sequential
+/// engine would have used discovery order.
+bool words_less(const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return false;
+}
+
+void spin_pause(unsigned round) noexcept {
+    if (round < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+    } else {
+        std::this_thread::yield();
+    }
+}
+
+}  // namespace
+
+// ------------------------------------------- ConcurrentMarkingStore --
+
+ConcurrentMarkingStore::ConcurrentMarkingStore(std::size_t marking_words,
+                                               std::size_t meta_words,
+                                               std::size_t workers)
+    : words_(std::max<std::size_t>(marking_words, 1)),
+      record_words_(words_ + meta_words),
+      table_size_(std::size_t{1} << 12),
+      table_(std::make_unique<std::atomic<std::uint64_t>[]>(table_size_)) {
+    for (std::size_t i = 0; i < table_size_; ++i) {
+        table_[i].store(kEmptySlot, std::memory_order_relaxed);
+    }
+    arenas_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        arenas_.emplace_back(record_words_);
+    }
+}
+
+std::size_t ConcurrentMarkingStore::size() const noexcept {
+    // Between layers (the only place this is read) capacity losers have
+    // repaired the counter, so it equals the number of owned records.
+    return count_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ConcurrentMarkingStore::hash(const std::uint64_t* words)
+    const noexcept {
+    return hash_marking_words(words, words_);
+}
+
+ConcurrentMarkingStore::InternResult ConcurrentMarkingStore::intern(
+    const std::uint64_t* words, std::size_t worker,
+    std::size_t capacity_limit) {
+    const std::size_t mask = table_size_ - 1;
+    const std::uint64_t h = hash(words);
+    const std::uint64_t fragment = h & 0xFFFFFFFF00000000ULL;
+    std::size_t slot = static_cast<std::size_t>(h) & mask;
+    unsigned spins = 0;
+    for (;;) {
+        std::uint64_t entry = table_[slot].load(std::memory_order_acquire);
+        if (entry == kEmptySlot) {
+            if (!table_[slot].compare_exchange_weak(
+                    entry, pack(h, kPendingId), std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                continue;  // lost the claim; re-examine the same slot
+            }
+            const std::uint32_t id =
+                count_.fetch_add(1, std::memory_order_acq_rel);
+            if (id >= capacity_limit) {
+                // Repair the counter (so size() == capacity exactly) and
+                // resolve the claim: the store is full for everyone.
+                count_.fetch_sub(1, std::memory_order_acq_rel);
+                table_[slot].store(pack(h, kCapacityId),
+                                   std::memory_order_release);
+                return {kNone, false};
+            }
+            util::WordArena& arena = arenas_[worker];
+            std::uint64_t* record = arena[arena.push_zero()];
+            copy_words(record, words, words_);
+            records_[id] = record;
+            hashes_[id] = h;
+            table_[slot].store(pack(h, id), std::memory_order_release);
+            return {id, true};
+        }
+        const auto entry_id = static_cast<std::uint32_t>(entry);
+        if (entry_id == kCapacityId) return {kNone, false};
+        if ((entry & 0xFFFFFFFF00000000ULL) == fragment) {
+            if (entry_id == kPendingId) {
+                // Same fragment, record mid-publication: it may be our
+                // marking, so wait for the claimant to resolve the slot.
+                spin_pause(spins++);
+                continue;
+            }
+            if (std::memcmp(records_[entry_id], words,
+                            words_ * sizeof(std::uint64_t)) == 0) {
+                return {entry_id, false};
+            }
+        }
+        slot = (slot + 1) & mask;
+    }
+}
+
+std::uint32_t ConcurrentMarkingStore::find(
+    const std::uint64_t* words) const noexcept {
+    const std::size_t mask = table_size_ - 1;
+    const std::uint64_t h = hash(words);
+    const std::uint64_t fragment = h & 0xFFFFFFFF00000000ULL;
+    std::size_t slot = static_cast<std::size_t>(h) & mask;
+    for (;;) {
+        const std::uint64_t entry =
+            table_[slot].load(std::memory_order_acquire);
+        if (entry == kEmptySlot) return kNone;
+        const auto entry_id = static_cast<std::uint32_t>(entry);
+        // Capacity tombstones sit mid-probe-chain; records inserted
+        // before the cap was hit can live beyond them, so skip past.
+        if (entry_id != kCapacityId && entry_id != kPendingId &&
+            (entry & 0xFFFFFFFF00000000ULL) == fragment &&
+            std::memcmp(records_[entry_id], words,
+                        words_ * sizeof(std::uint64_t)) == 0) {
+            return entry_id;
+        }
+        slot = (slot + 1) & mask;
+    }
+}
+
+void ConcurrentMarkingStore::reserve(std::size_t needed) {
+    if (records_.size() < needed) {
+        records_.resize(needed, nullptr);
+        hashes_.resize(needed, 0);
+    }
+    std::size_t want = table_size_;
+    while (needed * 10 >= want * 7) want *= 2;
+    if (want == table_size_) return;
+    auto table = std::make_unique<std::atomic<std::uint64_t>[]>(want);
+    for (std::size_t i = 0; i < want; ++i) {
+        table[i].store(kEmptySlot, std::memory_order_relaxed);
+    }
+    const std::size_t mask = want - 1;
+    const std::size_t count = count_.load(std::memory_order_acquire);
+    for (std::uint32_t id = 0; id < count; ++id) {
+        std::size_t slot = static_cast<std::size_t>(hashes_[id]) & mask;
+        while (table[slot].load(std::memory_order_relaxed) != kEmptySlot) {
+            slot = (slot + 1) & mask;
+        }
+        table[slot].store(pack(hashes_[id], id), std::memory_order_relaxed);
+    }
+    table_ = std::move(table);
+    table_size_ = want;
+}
+
+// -------------------------------------- ParallelReachabilityExplorer --
+
+std::size_t ParallelReachabilityExplorer::resolve_threads(
+    std::size_t requested) noexcept {
+    if (requested != 0) return std::max<std::size_t>(requested, 1);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ParallelReachabilityExplorer::ParallelReachabilityExplorer(
+    const Net& net, ReachabilityOptions options)
+    : net_(net),
+      options_(options),
+      owned_(std::in_place, net),
+      compiled_(&*owned_),
+      threads_(resolve_threads(options.threads)) {}
+
+ParallelReachabilityExplorer::ParallelReachabilityExplorer(
+    const CompiledNet& compiled, ReachabilityOptions options)
+    : net_(compiled.net()),
+      options_(options),
+      compiled_(&compiled),
+      threads_(resolve_threads(options.threads)) {}
+
+namespace {
+
+/// One exploration pass: all shared state of the layer-synchronous BFS.
+/// Workers only write their own WorkerCtx mid-layer; everything else
+/// mutates in the barrier's serial completion step or before/after the
+/// worker phase.
+class ParallelPass {
+public:
+    ParallelPass(const Net& net, const CompiledNet& compiled,
+                 const ReachabilityOptions& options, const MultiQuery& query,
+                 std::size_t workers)
+        : net_(net),
+          compiled_(compiled),
+          query_(query),
+          cap_(std::max<std::size_t>(options.max_states, 1)),
+          mwords_(compiled.marking_words()),
+          twords_(compiled.enabled_words()),
+          workers_(workers),
+          store_(mwords_, twords_, workers),
+          resolved_(query.goals.size(), 0),
+          witness_id_(query.goals.size(), ConcurrentMarkingStore::kNone),
+          ctx_(workers) {
+        for (WorkerCtx& ctx : ctx_) {
+            ctx.best.assign(query.goals.size(),
+                            ConcurrentMarkingStore::kNone);
+            ctx.child.assign(std::max<std::size_t>(mwords_, 1), 0);
+            ctx.scratch = Marking(net.place_count());
+        }
+        unresolved_ = query.goals.size();
+        can_early_stop_ = options.stop_at_first_match &&
+                          !query.collect_deadlocks &&
+                          !query.check_persistence && !query.goals.empty();
+    }
+
+    MultiResult run();
+
+private:
+    struct LocalViolation {
+        std::uint32_t state;  ///< id of the marking the pair conflicts at
+        std::uint32_t depth;  ///< its BFS depth (trace length)
+        TransitionId fired;
+        TransitionId disabled;
+    };
+
+    /// Per-worker mutable state; cache-line aligned so neighbouring
+    /// workers' per-edge counter updates do not false-share.
+    struct alignas(64) WorkerCtx {
+        std::vector<std::uint32_t> out;  ///< next-layer discoveries
+        std::vector<std::uint32_t> best;  ///< per-goal best hit this layer
+        std::vector<std::uint32_t> deadlocks;
+        std::vector<LocalViolation> violations;
+        std::vector<std::uint64_t> child;  ///< successor marking scratch
+        Marking scratch;                   ///< predicate evaluation view
+        std::size_t edges = 0;
+        std::size_t out_edges = 0;  ///< enabled-bit sum of discoveries
+    };
+
+    const std::uint64_t* marking_of(std::uint32_t id) const {
+        return store_[id];
+    }
+    const std::uint64_t* enabled_of(std::uint32_t id) const {
+        return store_[id] + store_.meta_offset();
+    }
+
+    Marking materialize(std::uint32_t id) const {
+        Marking m(net_.place_count());
+        copy_words(m.word_data(), marking_of(id), m.word_count());
+        return m;
+    }
+
+    std::size_t enabled_popcount(const std::uint64_t* enabled) const {
+        std::size_t n = 0;
+        for (std::size_t w = 0; w < twords_; ++w) {
+            n += static_cast<std::size_t>(std::popcount(enabled[w]));
+        }
+        return n;
+    }
+
+    bool violation_less(const LocalViolation& a,
+                        const LocalViolation& b) const {
+        if (a.depth != b.depth) return a.depth < b.depth;
+        const std::uint64_t* ma = marking_of(a.state);
+        const std::uint64_t* mb = marking_of(b.state);
+        if (std::memcmp(ma, mb, mwords_ * sizeof(std::uint64_t)) != 0) {
+            return words_less(ma, mb, mwords_);
+        }
+        if (a.fired != b.fired) return a.fired < b.fired;
+        return a.disabled < b.disabled;
+    }
+
+    /// Evaluates deadlock collection and pending goals on a freshly
+    /// published state — the parallel mirror of the sequential visit().
+    void visit(std::uint32_t id, WorkerCtx& ctx) {
+        const std::uint64_t* enabled = enabled_of(id);
+        bool dead = true;
+        for (std::size_t w = 0; w < twords_; ++w) {
+            if (enabled[w] != 0) {
+                dead = false;
+                break;
+            }
+        }
+        if (dead && query_.collect_deadlocks) ctx.deadlocks.push_back(id);
+        if (unresolved_ == 0) return;
+        bool scratch_ready = false;
+        for (std::size_t g = 0; g < query_.goals.size(); ++g) {
+            if (resolved_[g]) continue;
+            const Predicate& goal = *query_.goals[g];
+            bool match = false;
+            if (goal.kind() == Predicate::Kind::Deadlock) {
+                match = dead;
+            } else {
+                if (!scratch_ready) {
+                    copy_words(ctx.scratch.word_data(), marking_of(id),
+                               ctx.scratch.word_count());
+                    scratch_ready = true;
+                }
+                match = goal(net_, ctx.scratch);
+            }
+            if (!match) continue;
+            // Keep the canonical (lexicographically smallest) hit of the
+            // layer so witnesses do not depend on worker scheduling.
+            if (ctx.best[g] == ConcurrentMarkingStore::kNone ||
+                words_less(marking_of(id), marking_of(ctx.best[g]),
+                           mwords_)) {
+                ctx.best[g] = id;
+            }
+        }
+    }
+
+    void check_persistence_edges(std::uint32_t head, TransitionId fired,
+                                 const std::uint64_t* head_enabled,
+                                 WorkerCtx& ctx) {
+        for (std::uint32_t u : compiled_.affected(fired)) {
+            if (u == fired.value) continue;
+            if (((head_enabled[u / kWordBits] >> (u % kWordBits)) & 1) ==
+                0) {
+                continue;  // u was not enabled before `fired` fired
+            }
+            const TransitionId ut{u};
+            if (compiled_.is_enabled(ctx.child.data(), ut)) continue;
+            if (query_.persistence_exempt &&
+                query_.persistence_exempt(net_, fired, ut)) {
+                continue;
+            }
+            ctx.violations.push_back(
+                {head, static_cast<std::uint32_t>(depth_), fired, ut});
+        }
+        // Bounded collection: each worker only ever needs its own
+        // canonically-smallest K (min-K of a union is the min-K of the
+        // parts' min-Ks, whatever the edge partition was).
+        const std::size_t max = query_.persistence_max_violations;
+        if (max != SIZE_MAX &&
+            ctx.violations.size() > std::max<std::size_t>(2 * max, 64)) {
+            std::sort(ctx.violations.begin(), ctx.violations.end(),
+                      [this](const LocalViolation& a,
+                             const LocalViolation& b) {
+                          return violation_less(a, b);
+                      });
+            ctx.violations.resize(max);
+        }
+    }
+
+    void expand(std::uint32_t head, std::size_t w, WorkerCtx& ctx) {
+        const std::uint64_t* marking = marking_of(head);
+        const std::uint64_t* enabled = enabled_of(head);
+        for (std::size_t word = 0; word < twords_; ++word) {
+            std::uint64_t bits = enabled[word];
+            while (bits != 0) {
+                if (abort_now_.load(std::memory_order_relaxed)) return;
+                const TransitionId t{static_cast<std::uint32_t>(
+                    word * kWordBits +
+                    static_cast<std::size_t>(std::countr_zero(bits)))};
+                bits &= bits - 1;
+
+                ++ctx.edges;
+                copy_words(ctx.child.data(), marking, mwords_);
+                compiled_.fire(ctx.child.data(), t);
+
+                if (query_.check_persistence) {
+                    check_persistence_edges(head, t, enabled, ctx);
+                }
+
+                const auto interned =
+                    store_.intern(ctx.child.data(), w, cap_);
+                if (interned.id == ConcurrentMarkingStore::kNone) {
+                    truncated_.store(true, std::memory_order_relaxed);
+                    abort_now_.store(true, std::memory_order_release);
+                    return;
+                }
+                if (!interned.inserted) continue;
+
+                std::uint64_t* record = store_.record_mut(interned.id);
+                std::uint64_t* child_enabled =
+                    record + store_.meta_offset();
+                copy_words(child_enabled, enabled, twords_);
+                compiled_.update_enabled(ctx.child.data(), t,
+                                         child_enabled);
+                ctx.out_edges += enabled_popcount(child_enabled);
+                visit(interned.id, ctx);
+                ctx.out.push_back(interned.id);
+            }
+        }
+    }
+
+    void process_layer(std::size_t w) {
+        WorkerCtx& ctx = ctx_[w];
+        for (;;) {
+            if (abort_now_.load(std::memory_order_relaxed)) return;
+            const std::size_t begin =
+                cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+            if (begin >= frontier_.size()) return;
+            const std::size_t end =
+                std::min(begin + chunk_, frontier_.size());
+            for (std::size_t i = begin; i < end; ++i) {
+                expand(frontier_[i], w, ctx);
+            }
+        }
+    }
+
+    void process_layer_guarded(std::size_t w) noexcept {
+        try {
+            process_layer(w);
+        } catch (...) {
+            {
+                const std::lock_guard<std::mutex> lock(error_mu_);
+                if (!error_) error_ = std::current_exception();
+            }
+            abort_now_.store(true, std::memory_order_release);
+        }
+    }
+
+    /// Serial between-layers step, run by the barrier's completion while
+    /// every worker is parked: stitches the next frontier, provisions the
+    /// store, settles this layer's goal hits, and decides whether the
+    /// pass is done.
+    void layer_done() noexcept {
+        layers_.push_back(std::move(frontier_));
+        frontier_ = std::vector<std::uint32_t>();
+        std::size_t out_edges = 0;
+        std::size_t violations = 0;
+        for (WorkerCtx& ctx : ctx_) {
+            frontier_.insert(frontier_.end(), ctx.out.begin(),
+                             ctx.out.end());
+            ctx.out.clear();
+            out_edges += ctx.out_edges;
+            ctx.out_edges = 0;
+            violations += ctx.violations.size();
+        }
+        ++depth_;  // frontier_ now holds states at depth_ == layers_.size()
+
+        for (std::size_t g = 0; g < resolved_.size(); ++g) {
+            if (resolved_[g]) continue;
+            std::uint32_t best = ConcurrentMarkingStore::kNone;
+            for (WorkerCtx& ctx : ctx_) {
+                const std::uint32_t hit = ctx.best[g];
+                ctx.best[g] = ConcurrentMarkingStore::kNone;
+                if (hit == ConcurrentMarkingStore::kNone) continue;
+                if (best == ConcurrentMarkingStore::kNone ||
+                    words_less(marking_of(hit), marking_of(best),
+                               mwords_)) {
+                    best = hit;
+                }
+            }
+            if (best != ConcurrentMarkingStore::kNone) {
+                resolved_[g] = 1;
+                witness_id_[g] = best;
+                --unresolved_;
+            }
+        }
+
+        if (abort_now_.load(std::memory_order_acquire) ||
+            frontier_.empty() || (can_early_stop_ && unresolved_ == 0) ||
+            (query_.persistence_stop_at_first && violations != 0)) {
+            done_ = true;
+            return;
+        }
+
+        store_.reserve(std::min(store_.size() + out_edges, cap_));
+        cursor_.store(0, std::memory_order_relaxed);
+        chunk_ = std::clamp<std::size_t>(
+            frontier_.size() / (workers_ * 8), 1, 256);
+    }
+
+    /// Builds the canonical BFS tree in one serial sweep over the stored
+    /// edge set: each state's parent is the lexicographically-smallest
+    /// (predecessor marking, transition) pair among its previous-layer
+    /// predecessors. Worker scheduling decided which states exist and
+    /// nothing else, so the tree — and every trace walked from it — is
+    /// identical across runs and thread counts. O(edges) once, O(depth)
+    /// per trace, however many witnesses a pass reports.
+    void build_canonical_tree() {
+        if (tree_built_) return;
+        tree_built_ = true;
+        const std::size_t states = store_.size();
+        depth_of_.assign(states, 0);
+        for (std::size_t d = 0; d < layers_.size(); ++d) {
+            for (const std::uint32_t id : layers_[d]) {
+                depth_of_[id] = static_cast<std::uint32_t>(d);
+            }
+        }
+        constexpr std::uint64_t kUnset = UINT64_MAX;
+        parent_of_.assign(states, kUnset);
+        std::vector<std::uint64_t> child(std::max<std::size_t>(mwords_, 1));
+        for (std::size_t d = 0; d + 1 < layers_.size(); ++d) {
+            for (const std::uint32_t pid : layers_[d]) {
+                const std::uint64_t* pm = marking_of(pid);
+                const std::uint64_t* enabled = enabled_of(pid);
+                for (std::size_t w = 0; w < twords_; ++w) {
+                    std::uint64_t bits = enabled[w];
+                    while (bits != 0) {
+                        const TransitionId t{static_cast<std::uint32_t>(
+                            w * kWordBits + static_cast<std::size_t>(
+                                                std::countr_zero(bits)))};
+                        bits &= bits - 1;
+                        copy_words(child.data(), pm, mwords_);
+                        compiled_.fire(child.data(), t);
+                        const std::uint32_t cid = store_.find(child.data());
+                        // Only tree edges qualify: the successor exists
+                        // (it may not, in a truncated pass) and sits one
+                        // layer deeper (cross and back edges are not
+                        // shortest paths).
+                        if (cid == ConcurrentMarkingStore::kNone ||
+                            depth_of_[cid] != d + 1) {
+                            continue;
+                        }
+                        const std::uint64_t cur = parent_of_[cid];
+                        if (cur != kUnset) {
+                            const auto cur_parent =
+                                static_cast<std::uint32_t>(cur);
+                            if (cur_parent == pid) {
+                                if (TransitionId{static_cast<std::uint32_t>(
+                                        cur >> 32)} <= t) {
+                                    continue;
+                                }
+                            } else if (!words_less(pm,
+                                                   marking_of(cur_parent),
+                                                   mwords_)) {
+                                continue;
+                            }
+                        }
+                        parent_of_[cid] =
+                            (std::uint64_t{t.value} << 32) | pid;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical BFS-shortest trace for a stored state, walked off the
+    /// canonical tree.
+    Trace reconstruct(std::uint32_t id) {
+        build_canonical_tree();
+        Trace trace;
+        std::uint32_t cursor = id;
+        while (parent_of_[cursor] != UINT64_MAX) {
+            trace.firings.push_back(TransitionId{
+                static_cast<std::uint32_t>(parent_of_[cursor] >> 32)});
+            cursor = static_cast<std::uint32_t>(parent_of_[cursor]);
+        }
+        std::reverse(trace.firings.begin(), trace.firings.end());
+        return trace;
+    }
+
+    MultiResult assemble();
+
+    const Net& net_;
+    const CompiledNet& compiled_;
+    const MultiQuery& query_;
+    const std::size_t cap_;
+    const std::size_t mwords_;
+    const std::size_t twords_;
+    const std::size_t workers_;
+
+    ConcurrentMarkingStore store_;
+    std::vector<std::uint32_t> frontier_;
+    std::vector<std::vector<std::uint32_t>> layers_;
+    std::size_t depth_ = 0;  ///< BFS depth of the frontier being expanded
+    std::atomic<std::size_t> cursor_{0};
+    std::size_t chunk_ = 1;
+
+    std::vector<std::uint8_t> resolved_;
+    std::vector<std::uint32_t> witness_id_;
+    std::size_t unresolved_ = 0;
+
+    bool tree_built_ = false;
+    std::vector<std::uint32_t> depth_of_;   ///< id -> BFS depth
+    std::vector<std::uint64_t> parent_of_;  ///< id -> via << 32 | parent
+    bool can_early_stop_ = false;
+
+    std::atomic<bool> abort_now_{false};
+    std::atomic<bool> truncated_{false};
+    bool done_ = false;
+
+    std::vector<WorkerCtx> ctx_;
+    std::mutex error_mu_;
+    std::exception_ptr error_;
+};
+
+MultiResult ParallelPass::run() {
+    // Root state, interned and evaluated serially (depth 0).
+    store_.reserve(std::min<std::size_t>(1, cap_));
+    const Marking m0 = net_.initial_marking();
+    copy_words(ctx_[0].child.data(), m0.word_data(), m0.word_count());
+    const auto root = store_.intern(ctx_[0].child.data(), 0, cap_);
+    std::uint64_t* root_enabled =
+        store_.record_mut(root.id) + store_.meta_offset();
+    compiled_.enabled_set(store_[root.id], root_enabled);
+    visit(root.id, ctx_[0]);
+    frontier_.push_back(root.id);
+    // Settle root hits exactly like a layer boundary would (depth 0, so
+    // compensate the depth bump layer_done() applies).
+    {
+        const std::size_t root_out = enabled_popcount(root_enabled);
+        for (std::size_t g = 0; g < resolved_.size(); ++g) {
+            const std::uint32_t hit = ctx_[0].best[g];
+            ctx_[0].best[g] = ConcurrentMarkingStore::kNone;
+            if (hit == ConcurrentMarkingStore::kNone) continue;
+            resolved_[g] = 1;
+            witness_id_[g] = hit;
+            --unresolved_;
+        }
+        if ((can_early_stop_ && unresolved_ == 0) || root_out == 0) {
+            return assemble();  // nothing to explore / nothing left to ask
+        }
+        store_.reserve(std::min(1 + root_out, cap_));
+    }
+
+    auto completion = [this]() noexcept { layer_done(); };
+    std::barrier sync(static_cast<std::ptrdiff_t>(workers_), completion);
+
+    auto worker_main = [this, &sync](std::size_t w) {
+        for (;;) {
+            process_layer_guarded(w);
+            sync.arrive_and_wait();
+            if (done_) break;
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers_ - 1);
+    for (std::size_t w = 1; w < workers_; ++w) {
+        pool.emplace_back(worker_main, w);
+    }
+    worker_main(0);
+    for (std::thread& t : pool) t.join();
+
+    if (error_) std::rethrow_exception(error_);
+    return assemble();
+}
+
+MultiResult ParallelPass::assemble() {
+    // Adopt the never-expanded last frontier as the final layer: an
+    // early-stopped (or truncated) pass has stored states there, and
+    // witness reconstruction needs their depths too.
+    if (!frontier_.empty()) {
+        layers_.push_back(std::move(frontier_));
+        frontier_.clear();
+    }
+
+    MultiResult result;
+    result.states_explored = store_.size();
+    result.truncated = truncated_.load(std::memory_order_acquire);
+    for (const WorkerCtx& ctx : ctx_) {
+        result.edges_explored += ctx.edges;
+    }
+
+    if (query_.collect_deadlocks) {
+        std::vector<std::uint32_t> dead;
+        for (const WorkerCtx& ctx : ctx_) {
+            dead.insert(dead.end(), ctx.deadlocks.begin(),
+                        ctx.deadlocks.end());
+        }
+        std::sort(dead.begin(), dead.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      return words_less(marking_of(a), marking_of(b),
+                                        mwords_);
+                  });
+        result.deadlocks.reserve(dead.size());
+        for (const std::uint32_t id : dead) {
+            result.deadlocks.push_back(materialize(id));
+        }
+    }
+
+    if (query_.check_persistence) {
+        std::vector<LocalViolation> all;
+        for (const WorkerCtx& ctx : ctx_) {
+            all.insert(all.end(), ctx.violations.begin(),
+                       ctx.violations.end());
+        }
+        std::sort(all.begin(), all.end(),
+                  [this](const LocalViolation& a, const LocalViolation& b) {
+                      return violation_less(a, b);
+                  });
+        std::size_t keep = query_.persistence_max_violations;
+        if (query_.persistence_stop_at_first) {
+            keep = std::min<std::size_t>(keep, 1);
+        }
+        if (all.size() > keep) all.resize(keep);
+        result.persistence_violations.reserve(all.size());
+        for (const LocalViolation& v : all) {
+            result.persistence_violations.push_back(
+                {materialize(v.state), v.fired, v.disabled,
+                 reconstruct(v.state)});
+        }
+    }
+
+    result.goals.resize(query_.goals.size());
+    for (std::size_t g = 0; g < query_.goals.size(); ++g) {
+        ReachabilityResult& r = result.goals[g];
+        r.states_explored = result.states_explored;
+        r.edges_explored = result.edges_explored;
+        r.truncated = result.truncated;
+        if (resolved_[g]) {
+            r.witness = materialize(witness_id_[g]);
+            r.witness_trace = reconstruct(witness_id_[g]);
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+ReachabilityResult ParallelReachabilityExplorer::find(
+    const Predicate& goal) {
+    MultiQuery query;
+    query.goals = {&goal};
+    return std::move(run_query(query).goals[0]);
+}
+
+std::vector<ReachabilityResult> ParallelReachabilityExplorer::find_all(
+    std::span<const Predicate* const> goals) {
+    MultiQuery query;
+    query.goals.assign(goals.begin(), goals.end());
+    return std::move(run_query(query).goals);
+}
+
+ReachabilityResult ParallelReachabilityExplorer::find_deadlocks() {
+    const Predicate dead = Predicate::deadlock();
+    MultiQuery query;
+    query.goals = {&dead};
+    query.collect_deadlocks = true;
+    auto multi = run_query(query);
+    ReachabilityResult result = std::move(multi.goals[0]);
+    result.deadlocks = std::move(multi.deadlocks);
+    return result;
+}
+
+ReachabilityResult ParallelReachabilityExplorer::explore_all() {
+    const auto multi = run_query(MultiQuery{});
+    ReachabilityResult result;
+    result.states_explored = multi.states_explored;
+    result.edges_explored = multi.edges_explored;
+    result.truncated = multi.truncated;
+    return result;
+}
+
+std::size_t ParallelReachabilityExplorer::count_states() {
+    return explore_all().states_explored;
+}
+
+MultiResult ParallelReachabilityExplorer::run_query(
+    const MultiQuery& query) {
+    if (threads_ <= 1) {
+        // The contract for threads == 1: bit-for-bit the sequential
+        // engine, including its discovery-order witness selection.
+        ReachabilityExplorer sequential(*compiled_, options_);
+        return sequential.run_query(query);
+    }
+    ParallelPass pass(net_, *compiled_, options_, query, threads_);
+    return pass.run();
+}
+
+}  // namespace rap::petri

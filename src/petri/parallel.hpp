@@ -1,0 +1,171 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "petri/compiled.hpp"
+#include "petri/net.hpp"
+#include "petri/predicate.hpp"
+#include "petri/reachability.hpp"
+#include "util/arena.hpp"
+
+namespace rap::petri {
+
+/// Concurrent interned store of markings: the parallel engine's
+/// replacement for the single-threaded MarkingStore. Records (marking
+/// payload + caller-owned meta words) live in per-worker WordArena chunks
+/// — no cross-thread allocation contention, pointers stable for the whole
+/// pass — behind one shared open-addressing table whose packed
+/// (hash fragment | id) slots are claimed by CAS. Ids stay dense
+/// (discovery order of the whole pass) via a shared counter, so BFS
+/// bookkeeping still runs on plain arrays.
+///
+/// Concurrency contract: `intern` may run from any worker concurrently;
+/// everything else (`reserve`, `clear`, reads of records the caller has
+/// not itself published) must be separated from intern calls by an
+/// external happens-before edge — the engine's per-layer barrier.
+/// Capacity is fixed while workers run: `reserve` must have provisioned
+/// at least as many records as the layer can insert (the engine bounds a
+/// layer's inserts by the frontier's out-edge count).
+class ConcurrentMarkingStore {
+public:
+    static constexpr std::uint32_t kNone = UINT32_MAX;
+
+    ConcurrentMarkingStore(std::size_t marking_words,
+                           std::size_t meta_words, std::size_t workers);
+
+    /// Records interned so far, clamped to the construction-independent
+    /// `capacity_limit` the callers passed (losers of the capacity race
+    /// bump the shared counter past the limit without owning a record).
+    std::size_t size() const noexcept;
+
+    const std::uint64_t* operator[](std::uint32_t id) const noexcept {
+        return records_[id];
+    }
+    std::uint64_t* record_mut(std::uint32_t id) noexcept {
+        return records_[id];
+    }
+    std::size_t meta_offset() const noexcept { return words_; }
+
+    struct InternResult {
+        std::uint32_t id = kNone;  ///< kNone when the limit blocked insert
+        bool inserted = false;
+    };
+
+    /// Thread-safe lookup-or-insert. `worker` picks the arena the record
+    /// is appended to; `capacity_limit` is the max_states cap (ids are
+    /// only ever allocated below it, so when an insert fails on capacity
+    /// exactly `capacity_limit` records exist). The inserting caller owns
+    /// the record's meta area until the next barrier publishes it.
+    InternResult intern(const std::uint64_t* words, std::size_t worker,
+                        std::size_t capacity_limit);
+
+    /// Serial (between-layers): ensures the table and the id->record
+    /// index can absorb `needed` records without any mid-layer growth.
+    void reserve(std::size_t needed);
+
+    /// Serial lookup without insertion; kNone when absent. Used by the
+    /// post-pass canonical-tree sweep, after all interning is done.
+    std::uint32_t find(const std::uint64_t* words) const noexcept;
+
+private:
+    std::uint64_t hash(const std::uint64_t* words) const noexcept;
+
+    // Slot states: empty, pending (claimed, record not yet published),
+    // or final packed (hash fragment << 32 | id). Pending carries the
+    // claimant's hash fragment so probes for other fragments skip past
+    // without waiting. kCapacityId resolves a claim that lost the
+    // capacity race — every prober treats it as "store full".
+    static constexpr std::uint64_t kEmptySlot = UINT64_MAX;
+    static constexpr std::uint32_t kPendingId = UINT32_MAX - 1;
+    static constexpr std::uint32_t kCapacityId = UINT32_MAX - 2;
+    static std::uint64_t pack(std::uint64_t h, std::uint32_t id) noexcept {
+        return (h & 0xFFFFFFFF00000000ULL) | id;
+    }
+
+    std::size_t words_;         ///< marking payload words (hashed, deduped)
+    std::size_t record_words_;  ///< payload + meta words per record
+    std::atomic<std::uint32_t> count_{0};
+    std::size_t table_size_ = 0;  ///< power of two
+    std::unique_ptr<std::atomic<std::uint64_t>[]> table_;
+    std::vector<std::uint64_t*> records_;  ///< id -> record, set by winner
+    std::vector<std::uint64_t> hashes_;    ///< id -> hash, for rehashing
+    std::vector<util::WordArena> arenas_;  ///< one per worker
+};
+
+/// Parallel-frontier breadth-first reachability over 1-safe nets: the
+/// layer-synchronous sibling of ReachabilityExplorer, sharding each BFS
+/// layer across N worker threads over one shared immutable CompiledNet.
+/// Workers intern successors through the ConcurrentMarkingStore, discover
+/// the next layer into per-worker lists, and meet at a barrier whose
+/// serial completion stitches the frontier, grows the table, and settles
+/// per-goal hits — so every answer the sequential engine gives layer by
+/// layer is reproduced exactly.
+///
+/// Result contract relative to ReachabilityExplorer, for identical
+/// queries:
+///  - states_explored / edges_explored / deadlock sets / persistence
+///    violation sets / goal verdicts are identical for exhaustive passes
+///    (no early stop, no truncation) — the reachable graph is walked
+///    exactly once either way.
+///  - witnesses are BFS-shortest: a goal's witness depth (trace length)
+///    always equals the sequential engine's. The witness *marking* is the
+///    canonical one — lexicographically smallest among the earliest
+///    layer's matches — and its trace is rebuilt deterministically, so
+///    results are identical across runs and across thread counts (the
+///    sequential engine instead keeps its discovery-order first match).
+///  - truncation stops with `truncated = true` and states_explored ==
+///    max_states exactly (ids are allocated densely below the cap; there
+///    is no overshoot slack).
+///  - with stop_at_first_match (or persistence_stop_at_first) the pass
+///    stops at the end of the layer that resolved it, so states/edges
+///    counters may exceed the sequential engine's mid-layer stop.
+///
+/// options.threads == 1 delegates to a ReachabilityExplorer — bit-for-bit
+/// today's sequential code path; 0 means one worker per hardware thread.
+///
+/// Goal predicates and the persistence exemption callback are invoked
+/// concurrently from worker threads and must be thread-safe for const
+/// access (every predicate built from Predicate atoms/connectives is).
+class ParallelReachabilityExplorer {
+public:
+    explicit ParallelReachabilityExplorer(const Net& net,
+                                          ReachabilityOptions options = {});
+
+    /// Runs on an externally owned CompiledNet (the verify::CompiledModel
+    /// / flow::Design sharing hook). The artifact must outlive the
+    /// explorer; it is never written to, so any number of explorers and
+    /// verifiers can share it concurrently.
+    explicit ParallelReachabilityExplorer(const CompiledNet& compiled,
+                                          ReachabilityOptions options = {});
+
+    ReachabilityResult find(const Predicate& goal);
+    std::vector<ReachabilityResult> find_all(
+        std::span<const Predicate* const> goals);
+    MultiResult run_query(const MultiQuery& query);
+    ReachabilityResult find_deadlocks();
+    ReachabilityResult explore_all();
+    std::size_t count_states();
+
+    const CompiledNet& compiled() const noexcept { return *compiled_; }
+
+    /// Worker threads a pass will use (options.threads resolved).
+    std::size_t threads() const noexcept { return threads_; }
+
+    /// 0 -> hardware_concurrency (at least 1), else the request itself.
+    static std::size_t resolve_threads(std::size_t requested) noexcept;
+
+private:
+    const Net& net_;
+    ReachabilityOptions options_;
+    std::optional<CompiledNet> owned_;  ///< set by the Net constructor only
+    const CompiledNet* compiled_;       ///< owned_ or the shared artifact
+    std::size_t threads_;
+};
+
+}  // namespace rap::petri

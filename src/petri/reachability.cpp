@@ -18,6 +18,12 @@ void copy_words(std::uint64_t* dst, const std::uint64_t* src,
     if (n != 0) std::memcpy(dst, src, n * sizeof(std::uint64_t));
 }
 
+/// Predecessor link packed into the record's meta word: parent id in the
+/// low half, the transition fired from it in the high half.
+std::uint64_t pack_visit(std::uint32_t parent, std::uint32_t via) {
+    return (std::uint64_t{via} << 32) | parent;
+}
+
 }  // namespace
 
 std::string Trace::to_string(const Net& net) const {
@@ -40,14 +46,14 @@ ReachabilityExplorer::ReachabilityExplorer(const Net& net,
       options_(options),
       owned_(std::in_place, net),
       compiled_(&*owned_),
-      store_(compiled_->marking_words()) {}
+      store_(compiled_->marking_words(), /*meta_words=*/1) {}
 
 ReachabilityExplorer::ReachabilityExplorer(const CompiledNet& compiled,
                                            ReachabilityOptions options)
     : net_(compiled.net()),
       options_(options),
       compiled_(&compiled),
-      store_(compiled.marking_words()) {}
+      store_(compiled.marking_words(), /*meta_words=*/1) {}
 
 ReachabilityResult ReachabilityExplorer::find(const Predicate& goal) {
     MultiQuery query;
@@ -95,7 +101,6 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     const std::size_t cap = std::max<std::size_t>(options_.max_states, 1);
 
     store_.clear();
-    meta_.clear();
 
     // Enabled bitset per state, maintained incrementally: a successor's
     // set is its parent's with only affected(fired) re-tested. Record i
@@ -158,7 +163,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     const Marking m0 = net_.initial_marking();
     copy_words(child.data(), m0.word_data(), m0.word_count());
     const auto root = store_.intern(child.data(), cap);
-    meta_.push_back({kNoParent, 0});
+    store_.meta(root.id)[0] = pack_visit(kNoParent, 0);
     enabled_store.push_zero();
     compiled_->enabled_set(store_[root.id], enabled_store[root.id]);
     visit(root.id);
@@ -222,7 +227,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
                 }
                 if (!interned.inserted) continue;
 
-                meta_.push_back({head, t.value});
+                store_.meta(interned.id)[0] = pack_visit(head, t.value);
                 enabled_store.push(enabled);
                 compiled_->update_enabled(child.data(), t,
                                          enabled_store[interned.id]);
@@ -246,11 +251,18 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
 }
 
 Trace ReachabilityExplorer::rebuild_trace(std::uint32_t index) const {
+    // Predecessor links live in the records themselves, so the walk only
+    // depends on what each record stores — not on any side array being
+    // aligned with the store's insertion order.
     Trace trace;
     std::uint32_t cursor = index;
-    while (meta_[cursor].parent != kNoParent) {
-        trace.firings.push_back(TransitionId{meta_[cursor].via});
-        cursor = meta_[cursor].parent;
+    for (;;) {
+        const std::uint64_t visit = store_.meta(cursor)[0];
+        const auto parent = static_cast<std::uint32_t>(visit);
+        if (parent == kNoParent) break;
+        trace.firings.push_back(TransitionId{
+            static_cast<std::uint32_t>(visit >> 32)});
+        cursor = parent;
     }
     std::reverse(trace.firings.begin(), trace.firings.end());
     return trace;

@@ -29,6 +29,10 @@ struct ReachabilityOptions {
     /// goal predicate (for multi-goal queries: once every goal matched)
     /// instead of exhausting the state space.
     bool stop_at_first_match = true;
+    /// Worker threads for ParallelReachabilityExplorer: 0 = one per
+    /// hardware thread, 1 = the sequential engine's exact code path.
+    /// ReachabilityExplorer itself is single-threaded and ignores this.
+    std::size_t threads = 0;
 };
 
 struct ReachabilityResult {
@@ -144,10 +148,6 @@ public:
     const CompiledNet& compiled() const noexcept { return *compiled_; }
 
 private:
-    struct Visit {
-        std::uint32_t parent;  // MarkingStore id, kNoParent for the root
-        std::uint32_t via;     // transition fired from parent
-    };
     static constexpr std::uint32_t kNoParent = UINT32_MAX;
 
     Trace rebuild_trace(std::uint32_t index) const;
@@ -157,8 +157,10 @@ private:
     ReachabilityOptions options_;
     std::optional<CompiledNet> owned_;  ///< set by the Net constructor only
     const CompiledNet* compiled_;       ///< owned_ or the shared artifact
+    /// Each record carries one meta word packing the predecessor link
+    /// (parent id | via transition << 32), so witness-trace rebuilding
+    /// reads the record itself and is independent of visiting order.
     MarkingStore store_;
-    std::vector<Visit> meta_;
 };
 
 }  // namespace rap::petri

@@ -50,7 +50,11 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     petri::ReachabilityOptions ropts;
     ropts.max_states = options_.max_states;
     ropts.stop_at_first_match = stop_at_first_match;
-    petri::ReachabilityExplorer explorer(model_->compiled(), ropts);
+    ropts.threads = options_.threads;
+    // The parallel explorer shards the BFS frontier over the shared
+    // compiled artifact; at one (resolved) thread it delegates to the
+    // sequential engine's exact code path.
+    petri::ParallelReachabilityExplorer explorer(model_->compiled(), ropts);
     ++explorations_;
     return explorer.run_query(query);
 }

@@ -9,6 +9,7 @@
 #include "dfs/dynamics.hpp"
 #include "dfs/model.hpp"
 #include "dfs/translate.hpp"
+#include "petri/parallel.hpp"
 #include "petri/persistence.hpp"
 #include "petri/predicate.hpp"
 #include "petri/reachability.hpp"
@@ -49,6 +50,17 @@ struct Finding {
 
 struct VerifyOptions {
     std::size_t max_states = 2'000'000;
+    /// Worker threads for the state-space exploration: 0 = one per
+    /// hardware thread (petri::ParallelReachabilityExplorer), 1 = the
+    /// sequential engine's exact code path. Whatever the setting, one
+    /// verification pass still answers every property in one exploration
+    /// and reports the same verdicts. Parallel passes pick canonical
+    /// (smallest) witnesses, so their reports are deterministic across
+    /// runs and across thread counts >= 2; the sequential path instead
+    /// keeps its discovery-order witness, and a single-question verify
+    /// may stop mid-layer there, so states_explored and witness details
+    /// can differ between threads == 1 and parallel configurations.
+    std::size_t threads = 0;
 };
 
 /// A user-supplied Reach-style predicate to evaluate alongside the

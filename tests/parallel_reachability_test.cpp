@@ -1,0 +1,520 @@
+// Differential harness for the parallel-frontier reachability engine:
+// every fixture model runs through the sequential ReachabilityExplorer
+// and the ParallelReachabilityExplorer at several thread counts, and the
+// answers must agree exactly — states/edges explored, deadlock sets,
+// persistence-violation sets, goal verdicts, witness lengths — plus a
+// repeated-run determinism check, the parallel truncation contract, the
+// concurrent interning table's own invariants, and the facade adoption
+// (verify::Verifier / flow::Design behind VerifyOptions::threads).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "dfs/model.hpp"
+#include "dfs/translate.hpp"
+#include "flow/design.hpp"
+#include "ope/dfs_models.hpp"
+#include "petri/parallel.hpp"
+#include "petri/predicate.hpp"
+#include "petri/reachability.hpp"
+#include "pipeline/builder.hpp"
+#include "pipeline/wagging.hpp"
+#include "util/rng.hpp"
+
+namespace rap::petri {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {2, 4, 8};
+
+// ------------------------------------------------------------ fixtures --
+
+struct Fixture {
+    std::string name;
+    Net net;
+};
+
+/// A depth-`d` token-ring pipeline: d+2 control registers in a loop with
+/// one True token — the smallest live models of the paper's control
+/// style, one per depth 1..6.
+Fixture ring_fixture(int depth) {
+    dfs::Graph g("ring_d" + std::to_string(depth));
+    std::vector<dfs::NodeId> regs;
+    const int n = depth + 2;
+    for (int i = 0; i < n; ++i) {
+        regs.push_back(g.add_control("c" + std::to_string(i), i == 0,
+                                     dfs::TokenValue::True));
+    }
+    for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
+    return {g.name(), dfs::to_petri(g).net};
+}
+
+Fixture wagging_fixture() {
+    dfs::Graph g("wagging");
+    const auto in = g.add_register("in");
+    pipeline::add_wagging_stage(g, "w", in);
+    return {"wagging", dfs::to_petri(g).net};
+}
+
+Fixture static_ope_fixture(int stages) {
+    auto p = ope::build_static_ope_dfs(stages);
+    return {"ope_static_s" + std::to_string(stages),
+            dfs::to_petri(p.graph).net};
+}
+
+Fixture ope_fixture(int stages, int depth) {
+    auto p = ope::build_reconfigurable_ope_dfs(stages, depth);
+    return {"ope_s" + std::to_string(stages) + "_d" + std::to_string(depth),
+            dfs::to_petri(p.graph).net};
+}
+
+/// The gap misconfiguration of Section III-A: stage 2 bypassed under an
+/// active stage 3 — deadlock reachable, so witness paths get exercised.
+Fixture gap_fixture() {
+    auto p = ope::build_reconfigurable_ope_dfs(3, 3);
+    pipeline::reset_ring(p.graph, p.stages[1].global_ring,
+                         dfs::TokenValue::False);
+    return {"ope_gap", dfs::to_petri(p.graph).net};
+}
+
+/// Random nets straight from util::Rng: a few token rings (each live on
+/// its own) joined by random bridge transitions that move tokens across
+/// rings — real choice structure, so random persistence violations and
+/// deadlocks, without degenerating into an instantly-stuck net. Read
+/// arcs sprinkle in level-sensitive enabling. Not necessarily live or
+/// deadlock-free — the safe-enabling semantics is total either way, and
+/// both engines must agree on it exactly.
+Fixture random_fixture(std::uint64_t seed) {
+    util::Rng rng(seed);
+    Net net("rand_" + std::to_string(seed));
+    std::vector<PlaceId> ps;
+    const int rings = 2 + static_cast<int>(rng.below(3));
+    for (int r = 0; r < rings; ++r) {
+        const int len = 2 + static_cast<int>(rng.below(3));
+        std::vector<PlaceId> ring;
+        for (int i = 0; i < len; ++i) {
+            ring.push_back(net.add_place(
+                "r" + std::to_string(r) + "_p" + std::to_string(i),
+                i == 0));
+        }
+        for (int i = 0; i < len; ++i) {
+            const auto t = net.add_transition(
+                "r" + std::to_string(r) + "_t" + std::to_string(i));
+            net.add_input_arc(ring[i], t);
+            net.add_output_arc(t, ring[(i + 1) % len]);
+        }
+        ps.insert(ps.end(), ring.begin(), ring.end());
+    }
+    const int bridges = 2 + static_cast<int>(rng.below(4));
+    for (int b = 0; b < bridges; ++b) {
+        const auto t = net.add_transition("b" + std::to_string(b));
+        const PlaceId from = ps[rng.below(ps.size())];
+        PlaceId to = ps[rng.below(ps.size())];
+        while (to == from) to = ps[rng.below(ps.size())];
+        net.add_input_arc(from, t);
+        net.add_output_arc(t, to);
+        if (rng.chance(0.4)) {
+            PlaceId guard = ps[rng.below(ps.size())];
+            while (guard == from) guard = ps[rng.below(ps.size())];
+            net.add_read_arc(guard, t);
+        }
+    }
+    return {net.name(), std::move(net)};
+}
+
+std::vector<Fixture> all_fixtures() {
+    std::vector<Fixture> fixtures;
+    for (int d = 1; d <= 6; ++d) fixtures.push_back(ring_fixture(d));
+    fixtures.push_back(wagging_fixture());
+    fixtures.push_back(static_ope_fixture(2));
+    fixtures.push_back(ope_fixture(3, 3));
+    fixtures.push_back(gap_fixture());
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        fixtures.push_back(random_fixture(seed));
+    }
+    return fixtures;
+}
+
+// ----------------------------------------------------------- plumbing --
+
+/// Exhaustive multi-property query over `net`: a deadlock goal, a
+/// marked-place goal, full deadlock collection and persistence checking.
+/// Exhaustive passes are where the differential contract promises exact
+/// equality on every counter and set.
+struct QueryBundle {
+    Predicate dead = Predicate::deadlock();
+    Predicate marked;
+    MultiQuery query;
+
+    explicit QueryBundle(const Net& net)
+        : marked(Predicate::marked(net, net.place_name(PlaceId{0}))) {
+        query.goals = {&dead, &marked};
+        query.collect_deadlocks = true;
+        query.check_persistence = true;
+    }
+};
+
+std::vector<Marking> sorted(std::vector<Marking> markings) {
+    std::sort(markings.begin(), markings.end());
+    return markings;
+}
+
+using ViolationKey = std::tuple<Marking, std::uint32_t, std::uint32_t>;
+
+std::vector<ViolationKey> violation_set(
+    const std::vector<PersistenceViolation>& violations) {
+    std::vector<ViolationKey> keys;
+    keys.reserve(violations.size());
+    for (const auto& v : violations) {
+        keys.emplace_back(v.marking, v.fired.value, v.disabled.value);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+/// Replays `trace` from the initial marking; the result must be `end`.
+/// Guards witness reconstruction: a wrong predecessor step produces a
+/// disabled firing or lands on the wrong marking.
+void expect_replays(const Net& net, const Trace& trace, const Marking& end,
+                    const std::string& context) {
+    Marking m = net.initial_marking();
+    for (const TransitionId t : trace.firings) {
+        ASSERT_TRUE(net.is_enabled(m, t))
+            << context << ": witness trace fires disabled "
+            << net.transition_name(t);
+        net.fire(m, t);
+    }
+    EXPECT_EQ(m, end) << context << ": witness trace misses its witness";
+}
+
+void expect_equivalent(const Net& net, const MultiResult& seq,
+                       const MultiResult& par, const std::string& context) {
+    EXPECT_EQ(par.states_explored, seq.states_explored) << context;
+    EXPECT_EQ(par.edges_explored, seq.edges_explored) << context;
+    EXPECT_FALSE(par.truncated) << context;
+    EXPECT_FALSE(seq.truncated) << context;
+
+    EXPECT_EQ(sorted(par.deadlocks), sorted(seq.deadlocks)) << context;
+    EXPECT_EQ(violation_set(par.persistence_violations),
+              violation_set(seq.persistence_violations))
+        << context;
+
+    ASSERT_EQ(par.goals.size(), seq.goals.size()) << context;
+    for (std::size_t g = 0; g < seq.goals.size(); ++g) {
+        const auto& sg = seq.goals[g];
+        const auto& pg = par.goals[g];
+        ASSERT_EQ(pg.found(), sg.found()) << context << " goal " << g;
+        if (!sg.found()) continue;
+        // BFS-shortest witnesses: equal depth, though the parallel
+        // engine may pick a different (canonical) marking of that depth.
+        ASSERT_TRUE(sg.witness_trace.has_value()) << context;
+        ASSERT_TRUE(pg.witness_trace.has_value()) << context;
+        EXPECT_EQ(pg.witness_trace->firings.size(),
+                  sg.witness_trace->firings.size())
+            << context << " goal " << g;
+        expect_replays(net, *pg.witness_trace, *pg.witness,
+                       context + " goal " + std::to_string(g));
+    }
+}
+
+// -------------------------------------------------------- differential --
+
+TEST(ParallelReachability, DifferentialAgainstSequentialOnEveryFixture) {
+    for (const Fixture& fixture : all_fixtures()) {
+        const CompiledNet compiled(fixture.net);
+        const QueryBundle bundle(fixture.net);
+
+        ReachabilityOptions seq_options;
+        seq_options.stop_at_first_match = false;
+        ReachabilityExplorer seq(compiled, seq_options);
+        const auto reference = seq.run_query(bundle.query);
+
+        for (const std::size_t threads : kThreadCounts) {
+            ReachabilityOptions options;
+            options.stop_at_first_match = false;
+            options.threads = threads;
+            ParallelReachabilityExplorer par(compiled, options);
+            const auto result = par.run_query(bundle.query);
+            expect_equivalent(fixture.net, reference, result,
+                              fixture.name + " @" +
+                                  std::to_string(threads) + "t");
+        }
+    }
+}
+
+TEST(ParallelReachability, FinderSurfaceMatchesSequential) {
+    // The convenience entry points (find / find_all / find_deadlocks /
+    // explore_all / count_states) answer like the sequential engine's.
+    const Fixture fixture = gap_fixture();
+    const Net& net = fixture.net;
+    const CompiledNet compiled(net);
+
+    ReachabilityExplorer seq(compiled);
+    ReachabilityOptions options;
+    options.threads = 4;
+    ParallelReachabilityExplorer par(compiled, options);
+
+    EXPECT_EQ(par.count_states(), seq.count_states());
+
+    const auto seq_dead = seq.find_deadlocks();
+    const auto par_dead = par.find_deadlocks();
+    EXPECT_EQ(par_dead.states_explored, seq_dead.states_explored);
+    EXPECT_EQ(sorted(par_dead.deadlocks), sorted(seq_dead.deadlocks));
+    ASSERT_TRUE(par_dead.found());
+    EXPECT_EQ(par_dead.witness_trace->firings.size(),
+              seq_dead.witness_trace->firings.size());
+
+    // Early-stop single-goal search: same verdict and witness depth (the
+    // parallel engine finishes the resolving layer, so state counters may
+    // legitimately exceed the sequential mid-layer stop).
+    const auto goal = Predicate::deadlock();
+    const auto seq_hit = ReachabilityExplorer(compiled).find(goal);
+    const auto par_hit =
+        ParallelReachabilityExplorer(compiled, options).find(goal);
+    ASSERT_TRUE(seq_hit.found());
+    ASSERT_TRUE(par_hit.found());
+    EXPECT_EQ(par_hit.witness_trace->firings.size(),
+              seq_hit.witness_trace->firings.size());
+}
+
+TEST(ParallelReachability, SingleThreadIsTheSequentialCodePath) {
+    // threads == 1 must reproduce the sequential engine bit for bit,
+    // including its discovery-order witness (not the canonical one).
+    const Fixture fixture = gap_fixture();
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    ReachabilityExplorer seq(compiled, options);
+    const auto reference = seq.run_query(bundle.query);
+
+    options.threads = 1;
+    ParallelReachabilityExplorer par(compiled, options);
+    const auto result = par.run_query(bundle.query);
+
+    EXPECT_EQ(result.states_explored, reference.states_explored);
+    EXPECT_EQ(result.edges_explored, reference.edges_explored);
+    ASSERT_EQ(result.goals.size(), reference.goals.size());
+    for (std::size_t g = 0; g < reference.goals.size(); ++g) {
+        ASSERT_EQ(result.goals[g].found(), reference.goals[g].found());
+        if (!reference.goals[g].found()) continue;
+        EXPECT_EQ(result.goals[g].witness, reference.goals[g].witness);
+        EXPECT_EQ(result.goals[g].witness_trace->firings,
+                  reference.goals[g].witness_trace->firings);
+    }
+}
+
+// --------------------------------------------------------- determinism --
+
+TEST(ParallelReachability, RepeatedRunsAreDeterministic) {
+    // Ten runs per thread count: verdicts, counters, deadlock sets and
+    // full witness traces must be identical run over run (the canonical
+    // witness selection makes them identical across thread counts too).
+    const Fixture fixture = gap_fixture();
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    std::optional<MultiResult> baseline;
+    for (const std::size_t threads : kThreadCounts) {
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;
+        options.threads = threads;
+        for (int run = 0; run < 10; ++run) {
+            ParallelReachabilityExplorer par(compiled, options);
+            const auto result = par.run_query(bundle.query);
+            if (!baseline) {
+                baseline = result;
+                ASSERT_TRUE(result.goals[0].found());
+                continue;
+            }
+            const std::string context = "run " + std::to_string(run) +
+                                        " @" + std::to_string(threads) +
+                                        "t";
+            EXPECT_EQ(result.states_explored, baseline->states_explored)
+                << context;
+            EXPECT_EQ(result.edges_explored, baseline->edges_explored)
+                << context;
+            EXPECT_EQ(sorted(result.deadlocks), sorted(baseline->deadlocks))
+                << context;
+            ASSERT_EQ(result.goals.size(), baseline->goals.size());
+            for (std::size_t g = 0; g < result.goals.size(); ++g) {
+                ASSERT_EQ(result.goals[g].found(),
+                          baseline->goals[g].found())
+                    << context;
+                if (!baseline->goals[g].found()) continue;
+                EXPECT_EQ(result.goals[g].witness,
+                          baseline->goals[g].witness)
+                    << context;
+                EXPECT_EQ(result.goals[g].witness_trace->firings,
+                          baseline->goals[g].witness_trace->firings)
+                    << context;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- truncation --
+
+TEST(ParallelReachability, TruncationContract) {
+    // With max_states below the true count the pass must stop truncated.
+    // Contract: never above max_states, and — because ids are allocated
+    // densely below the cap — exactly max_states, at every thread count
+    // (threads == 1 inherits the sequential engine's exact guarantee).
+    const Fixture fixture = ope_fixture(3, 3);  // 191k true states
+    const CompiledNet compiled(fixture.net);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
+        ReachabilityOptions options;
+        options.max_states = 4096;
+        options.threads = threads;
+        ParallelReachabilityExplorer par(compiled, options);
+        const auto result = par.explore_all();
+        EXPECT_TRUE(result.truncated) << threads;
+        EXPECT_EQ(result.states_explored, 4096u) << threads;
+    }
+}
+
+TEST(ParallelReachability, NoTruncationAtExactFit) {
+    const Fixture fixture = gap_fixture();
+    const CompiledNet compiled(fixture.net);
+    const std::size_t exact =
+        ParallelReachabilityExplorer(compiled).count_states();
+    ReachabilityOptions options;
+    options.max_states = exact;
+    options.threads = 4;
+    ParallelReachabilityExplorer par(compiled, options);
+    const auto result = par.explore_all();
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.states_explored, exact);
+}
+
+// ------------------------------------------- concurrent interning table --
+
+TEST(ConcurrentMarkingStore, InternsDedupesAndEnforcesCapacity) {
+    ConcurrentMarkingStore store(2, 1, 1);
+    store.reserve(2);
+    const std::uint64_t a[2] = {1, 2};
+    const std::uint64_t b[2] = {3, 4};
+    const auto ra = store.intern(a, 0, 2);
+    EXPECT_TRUE(ra.inserted);
+    EXPECT_EQ(ra.id, 0u);
+    const auto ra2 = store.intern(a, 0, 2);
+    EXPECT_FALSE(ra2.inserted);
+    EXPECT_EQ(ra2.id, 0u);
+    const auto rb = store.intern(b, 0, 2);
+    EXPECT_TRUE(rb.inserted);
+    EXPECT_EQ(rb.id, 1u);
+    const std::uint64_t c[2] = {5, 6};
+    const auto rc = store.intern(c, 0, 2);  // over capacity
+    EXPECT_FALSE(rc.inserted);
+    EXPECT_EQ(rc.id, ConcurrentMarkingStore::kNone);
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store[1][0], 3u);
+    // Meta words start zeroed and belong to the caller.
+    EXPECT_EQ(store.meta_offset(), 2u);
+    EXPECT_EQ(store[0][store.meta_offset()], 0u);
+    store.record_mut(0)[store.meta_offset()] = 77;
+    EXPECT_EQ(store[0][store.meta_offset()], 77u);
+}
+
+TEST(ConcurrentMarkingStore, ConcurrentInterningIsConsistent) {
+    // All workers intern overlapping slices of the same key universe;
+    // every key must get exactly one dense id, agreed on by all workers.
+    constexpr std::size_t kKeys = 20000;
+    constexpr std::size_t kWorkers = 8;
+    ConcurrentMarkingStore store(1, 0, kWorkers);
+    store.reserve(kKeys);
+
+    std::vector<std::vector<std::uint32_t>> ids(
+        kWorkers, std::vector<std::uint32_t>(kKeys));
+    std::vector<std::thread> pool;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+        pool.emplace_back([&store, &ids, w]() {
+            // Distinct per-worker visit order so claims genuinely race.
+            // (No gtest assertions in here: kNone sentinels are checked
+            // on the main thread after the join.)
+            util::Rng rng(0x9000 + w);
+            std::vector<std::uint64_t> keys(kKeys);
+            for (std::size_t i = 0; i < kKeys; ++i) keys[i] = i;
+            for (std::size_t i = kKeys; i > 1; --i) {
+                std::swap(keys[i - 1], keys[rng.below(i)]);
+            }
+            for (const std::uint64_t key : keys) {
+                ids[w][key] = store.intern(&key, w, kKeys).id;
+            }
+        });
+    }
+    for (auto& t : pool) t.join();
+
+    EXPECT_EQ(store.size(), kKeys);
+    for (std::size_t key = 0; key < kKeys; ++key) {
+        ASSERT_NE(ids[0][key], ConcurrentMarkingStore::kNone) << key;
+    }
+    for (std::size_t w = 1; w < kWorkers; ++w) {
+        ASSERT_EQ(ids[w], ids[0]) << "worker " << w;
+    }
+    for (std::size_t key = 0; key < kKeys; ++key) {
+        EXPECT_EQ(store[ids[0][key]][0], key);
+    }
+}
+
+// ------------------------------------------------------ facade adoption --
+
+TEST(ParallelVerify, VerifierThreadsKnobKeepsReportsEquivalent) {
+    auto p = ope::build_reconfigurable_ope_dfs(3, 3);
+    pipeline::reset_ring(p.graph, p.stages[1].global_ring,
+                         dfs::TokenValue::False);
+
+    verify::VerifyOptions sequential;
+    sequential.threads = 1;
+    const verify::Verifier seq(p.graph, sequential);
+    const auto seq_report = seq.verify_all();
+
+    for (const std::size_t threads : kThreadCounts) {
+        verify::VerifyOptions options;
+        options.threads = threads;
+        const verify::Verifier par(p.graph, options);
+        const auto par_report = par.verify_all();
+        ASSERT_EQ(par_report.findings.size(), seq_report.findings.size());
+        for (std::size_t i = 0; i < seq_report.findings.size(); ++i) {
+            const auto& sf = seq_report.findings[i];
+            const auto& pf = par_report.findings[i];
+            EXPECT_EQ(pf.property, sf.property);
+            EXPECT_EQ(pf.violated, sf.violated) << i;
+            EXPECT_EQ(pf.truncated, sf.truncated) << i;
+            EXPECT_EQ(pf.states_explored, sf.states_explored) << i;
+            EXPECT_EQ(pf.trace.size(), sf.trace.size()) << i;
+        }
+        EXPECT_EQ(par.explorations_run(), 1u);
+    }
+}
+
+TEST(ParallelVerify, DesignAdoptsThreadsThroughOptions) {
+    flow::DesignOptions options;
+    options.verify.threads = 2;
+    flow::Design design(ope::build_reconfigurable_ope_dfs(3, 3), options);
+    const auto report = design.verify();
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(design.verifier().explorations_run(), 1u);
+
+    flow::DesignOptions sequential_options;
+    sequential_options.verify.threads = 1;  // pin: default 0 = all cores
+    flow::Design sequential(ope::build_reconfigurable_ope_dfs(3, 3),
+                            sequential_options);
+    const auto seq_report = sequential.verify();
+    ASSERT_EQ(report.findings.size(), seq_report.findings.size());
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        EXPECT_EQ(report.findings[i].violated,
+                  seq_report.findings[i].violated);
+        EXPECT_EQ(report.findings[i].states_explored,
+                  seq_report.findings[i].states_explored);
+    }
+}
+
+}  // namespace
+}  // namespace rap::petri

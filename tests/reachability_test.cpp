@@ -205,6 +205,30 @@ TEST(MarkingStore, SurvivesGrowthRehash) {
     }
 }
 
+TEST(MarkingStore, MetaWordsLiveInTheRecord) {
+    // Records carry caller-owned meta words after the marking payload:
+    // zeroed on intern, untouched by dedup hits, stable across table
+    // growth (the arena never moves records). The reachability engines
+    // keep predecessor links here, so trace rebuilding must not depend on
+    // any side array staying aligned with insertion order.
+    MarkingStore store(1, /*meta_words=*/2);
+    ASSERT_EQ(store.meta_words(), 2u);
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+        const auto r = store.intern(&i, SIZE_MAX);
+        ASSERT_TRUE(r.inserted);
+        EXPECT_EQ(store.meta(r.id)[0], 0u);
+        store.meta(r.id)[0] = i * 2 + 1;
+        store.meta(r.id)[1] = ~i;
+    }
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+        const auto r = store.intern(&i, SIZE_MAX);  // dedup after rehashes
+        ASSERT_FALSE(r.inserted);
+        EXPECT_EQ(store[r.id][0], i);              // payload intact
+        EXPECT_EQ(store.meta(r.id)[0], i * 2 + 1);  // meta intact
+        EXPECT_EQ(store.meta(r.id)[1], ~i);
+    }
+}
+
 // -------------------------------------------------------- truncation --
 
 TEST(Reachability, TruncationMidExpansionReportsExactStateCount) {
@@ -400,6 +424,35 @@ TEST(Reachability, TracesDeterministicAcrossRuns) {
         } else {
             EXPECT_EQ(result.witness_trace->firings, first_firings);
             EXPECT_EQ(result.states_explored, first_states);
+        }
+    }
+}
+
+TEST(Reachability, WitnessTracesReplayFromPredecessorRecords) {
+    // Regression for the in-record predecessor links: every reported
+    // witness trace must replay firing-by-firing from the initial
+    // marking and land exactly on its witness. A predecessor link that
+    // silently depended on store insertion order (the old side-array
+    // scheme) breaks this the moment records are visited out of order.
+    for (const Net& net : {make_ring(), make_toggles(6), make_mixed()}) {
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;  // witnesses kept, pass runs on
+        ReachabilityExplorer explorer(net, options);
+        for (std::uint32_t pi = 0; pi < net.place_count(); ++pi) {
+            const auto goal =
+                Predicate::marked(net, net.place_name(PlaceId{pi}));
+            const auto result = explorer.find(goal);
+            if (!result.found()) continue;
+            ASSERT_TRUE(result.witness_trace.has_value());
+            Marking m = net.initial_marking();
+            for (const TransitionId t : result.witness_trace->firings) {
+                ASSERT_TRUE(net.is_enabled(m, t))
+                    << net.name() << ": trace fires disabled "
+                    << net.transition_name(t);
+                net.fire(m, t);
+            }
+            EXPECT_EQ(m, *result.witness)
+                << net.name() << " goal " << net.place_name(PlaceId{pi});
         }
     }
 }
