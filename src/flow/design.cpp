@@ -131,6 +131,10 @@ verify::Report Design::verify(const verify::Spec& spec) const {
     return verifier().verify(spec);
 }
 
+const petri::MemoryStats& Design::memory_stats() const {
+    return verifier().memory_stats();
+}
+
 // -- simulation ----------------------------------------------------------
 
 dfs::State Design::initial_state() const {

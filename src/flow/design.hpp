@@ -116,6 +116,12 @@ public:
     /// Exactly the properties `spec` asks for, one exploration.
     verify::Report verify(const verify::Spec& spec) const;
 
+    /// Memory footprint of the most recent verification exploration
+    /// (records, resident bytes, peak) — the capacity-planning surface
+    /// for the deep OPE configurations. All zeros until a verify() has
+    /// run in this session.
+    const petri::MemoryStats& memory_stats() const;
+
     // -- simulation -------------------------------------------------------
 
     dfs::State initial_state() const;

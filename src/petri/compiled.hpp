@@ -159,6 +159,18 @@ public:
     /// Drops every marking, keeping the arena blocks and table storage.
     void clear();
 
+    /// Record payload bytes resident in the arena.
+    std::size_t record_bytes() const noexcept {
+        return arena_.resident_bytes();
+    }
+
+    /// Records + interning table + per-id hash index.
+    std::size_t resident_bytes() const noexcept {
+        return record_bytes() +
+               (table_.capacity() + hashes_.capacity()) *
+                   sizeof(std::uint64_t);
+    }
+
 private:
     std::uint64_t hash(const std::uint64_t* words) const noexcept;
     void grow();

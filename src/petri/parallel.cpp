@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/steal_deque.hpp"
+
 namespace rap::petri {
 
 namespace {
@@ -56,7 +58,11 @@ ConcurrentMarkingStore::ConcurrentMarkingStore(std::size_t marking_words,
     }
     arenas_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-        arenas_.emplace_back(record_words_);
+        // Mid-sized blocks: N workers each strand ~half a block, so the
+        // default 512K-word blocks would cost small models more than
+        // the records themselves; 128K keeps the waste a few percent
+        // while still amortising allocation at 19M records.
+        arenas_.emplace_back(record_words_, std::size_t{1} << 14);
     }
 }
 
@@ -73,7 +79,8 @@ std::uint64_t ConcurrentMarkingStore::hash(const std::uint64_t* words)
 
 ConcurrentMarkingStore::InternResult ConcurrentMarkingStore::intern(
     const std::uint64_t* words, std::size_t worker,
-    std::size_t capacity_limit) {
+    std::size_t capacity_limit, const std::uint64_t* meta_init,
+    std::size_t meta_init_words) {
     const std::size_t mask = table_size_ - 1;
     const std::uint64_t h = hash(words);
     const std::uint64_t fragment = h & 0xFFFFFFFF00000000ULL;
@@ -100,8 +107,11 @@ ConcurrentMarkingStore::InternResult ConcurrentMarkingStore::intern(
             util::WordArena& arena = arenas_[worker];
             std::uint64_t* record = arena[arena.push_zero()];
             copy_words(record, words, words_);
+            // Pre-publication meta (the canonical-min witness link and
+            // depth): racing readers that learn the id below must never
+            // see it uninitialised.
+            copy_words(record + words_, meta_init, meta_init_words);
             records_[id] = record;
-            hashes_[id] = h;
             table_[slot].store(pack(h, id), std::memory_order_release);
             return {id, true};
         }
@@ -149,7 +159,6 @@ std::uint32_t ConcurrentMarkingStore::find(
 void ConcurrentMarkingStore::reserve(std::size_t needed) {
     if (records_.size() < needed) {
         records_.resize(needed, nullptr);
-        hashes_.resize(needed, 0);
     }
     std::size_t want = table_size_;
     while (needed * 10 >= want * 7) want *= 2;
@@ -161,14 +170,28 @@ void ConcurrentMarkingStore::reserve(std::size_t needed) {
     const std::size_t mask = want - 1;
     const std::size_t count = count_.load(std::memory_order_acquire);
     for (std::uint32_t id = 0; id < count; ++id) {
-        std::size_t slot = static_cast<std::size_t>(hashes_[id]) & mask;
+        const std::uint64_t h = hash(records_[id]);
+        std::size_t slot = static_cast<std::size_t>(h) & mask;
         while (table[slot].load(std::memory_order_relaxed) != kEmptySlot) {
             slot = (slot + 1) & mask;
         }
-        table[slot].store(pack(hashes_[id], id), std::memory_order_relaxed);
+        table[slot].store(pack(h, id), std::memory_order_relaxed);
     }
     table_ = std::move(table);
     table_size_ = want;
+}
+
+std::size_t ConcurrentMarkingStore::record_bytes() const noexcept {
+    std::size_t bytes = 0;
+    for (const util::WordArena& arena : arenas_) {
+        bytes += arena.resident_bytes();
+    }
+    return bytes;
+}
+
+std::size_t ConcurrentMarkingStore::resident_bytes() const noexcept {
+    return record_bytes() + table_size_ * sizeof(std::uint64_t) +
+           records_.capacity() * sizeof(std::uint64_t*);
 }
 
 // -------------------------------------- ParallelReachabilityExplorer --
@@ -201,6 +224,16 @@ namespace {
 /// Workers only write their own WorkerCtx mid-layer; everything else
 /// mutates in the barrier's serial completion step or before/after the
 /// worker phase.
+///
+/// Memory layout (the diet that reaches the 19M-state OPE models): a
+/// record is marking words plus, in canonical-CAS witness mode, two meta
+/// words — the atomic (via << 32 | parent) link and the BFS depth. The
+/// enabled bitsets live OUTSIDE the records when
+/// options.frontier_enabled_cache is on: each worker keeps two ping-pong
+/// arenas of rows, one holding the frontier being expanded, one filling
+/// with discoveries, and the barrier's serial step recycles the arena of
+/// the layer that just finished — so only ~two BFS layers of enabled
+/// words are ever resident instead of all of them.
 class ParallelPass {
 public:
     ParallelPass(const Net& net, const CompiledNet& compiled,
@@ -213,20 +246,39 @@ public:
           mwords_(compiled.marking_words()),
           twords_(compiled.enabled_words()),
           workers_(workers),
-          store_(mwords_, twords_, workers),
+          cas_tree_(options.witness_tree ==
+                    ReachabilityOptions::WitnessTree::kCanonicalCas),
+          diet_(options.frontier_enabled_cache),
+          stealing_(options.work_stealing),
+          wmeta_words_(cas_tree_ ? 2 : 0),
+          erec_off_(mwords_ + wmeta_words_),
+          store_(mwords_, wmeta_words_ + (diet_ ? 0 : twords_), workers),
           resolved_(query.goals.size(), 0),
           witness_id_(query.goals.size(), ConcurrentMarkingStore::kNone),
-          ctx_(workers) {
+          ctx_(workers),
+          deques_(workers) {
         for (WorkerCtx& ctx : ctx_) {
             ctx.best.assign(query.goals.size(),
                             ConcurrentMarkingStore::kNone);
             ctx.child.assign(std::max<std::size_t>(mwords_, 1), 0);
             ctx.scratch = Marking(net.place_count());
+            if (diet_) {
+                // Small blocks: these hold ~one BFS layer per worker and
+                // are recycled every other barrier, so the default block
+                // size would pin far more than they ever use.
+                ctx.earena.reserve(2);
+                ctx.earena.emplace_back(twords_, std::size_t{1} << 12);
+                ctx.earena.emplace_back(twords_, std::size_t{1} << 12);
+            }
         }
         unresolved_ = query.goals.size();
         can_early_stop_ = options.stop_at_first_match &&
                           !query.collect_deadlocks &&
                           !query.check_persistence && !query.goals.empty();
+        // The CAS witness link is only worth maintaining when the pass
+        // can be asked for a trace; a bare explore/count pays nothing.
+        maintain_tree_ =
+            cas_tree_ && (!query.goals.empty() || query.check_persistence);
     }
 
     MultiResult run();
@@ -243,20 +295,25 @@ private:
     /// workers' per-edge counter updates do not false-share.
     struct alignas(64) WorkerCtx {
         std::vector<std::uint32_t> out;  ///< next-layer discoveries
+        /// Enabled-set row of each `out` entry (worker arena in diet
+        /// mode, record interior otherwise), stitched into
+        /// frontier_rows_ at the barrier.
+        std::vector<const std::uint64_t*> out_rows;
         std::vector<std::uint32_t> best;  ///< per-goal best hit this layer
         std::vector<std::uint32_t> deadlocks;
         std::vector<LocalViolation> violations;
         std::vector<std::uint64_t> child;  ///< successor marking scratch
         Marking scratch;                   ///< predicate evaluation view
+        /// Ping-pong enabled-row arenas (frontier cache mode): [parity]
+        /// fills with discoveries while [1 - parity] backs the frontier.
+        std::vector<util::WordArena> earena;
         std::size_t edges = 0;
         std::size_t out_edges = 0;  ///< enabled-bit sum of discoveries
+        std::size_t steals = 0;     ///< chunks taken from other workers
     };
 
     const std::uint64_t* marking_of(std::uint32_t id) const {
         return store_[id];
-    }
-    const std::uint64_t* enabled_of(std::uint32_t id) const {
-        return store_[id] + store_.meta_offset();
     }
 
     Marking materialize(std::uint32_t id) const {
@@ -287,8 +344,8 @@ private:
 
     /// Evaluates deadlock collection and pending goals on a freshly
     /// published state — the parallel mirror of the sequential visit().
-    void visit(std::uint32_t id, WorkerCtx& ctx) {
-        const std::uint64_t* enabled = enabled_of(id);
+    void visit(std::uint32_t id, const std::uint64_t* enabled,
+               WorkerCtx& ctx) {
         bool dead = true;
         for (std::size_t w = 0; w < twords_; ++w) {
             if (enabled[w] != 0) {
@@ -357,9 +414,45 @@ private:
         }
     }
 
-    void expand(std::uint32_t head, std::size_t w, WorkerCtx& ctx) {
+    /// Canonical-min maintenance on a same-layer duplicate edge: if the
+    /// rediscovered state sits one layer deeper than the expanding
+    /// frontier, race the (parent marking, via) pair into its witness
+    /// link, keeping the lexicographically smallest. The final value at
+    /// the barrier is the min over every fired in-edge — independent of
+    /// worker scheduling, so traces stay deterministic across runs and
+    /// thread counts.
+    void cas_witness_link(std::uint32_t child, std::uint32_t parent,
+                          TransitionId via) {
+        std::uint64_t* record = store_.record_mut(child);
+        // Depth is written before the id is published and never again.
+        if (record[mwords_ + 1] != depth_ + 1) return;
+        std::atomic_ref<std::uint64_t> link(record[mwords_]);
+        const std::uint64_t cand =
+            (std::uint64_t{via.value} << 32) | parent;
+        const std::uint64_t* pm = marking_of(parent);
+        std::uint64_t cur = link.load(std::memory_order_acquire);
+        for (;;) {
+            const auto cur_parent = static_cast<std::uint32_t>(cur);
+            bool smaller;
+            if (cur_parent == parent) {
+                smaller = via.value < static_cast<std::uint32_t>(cur >> 32);
+            } else {
+                // Markings are interned: distinct parent ids hold
+                // distinct markings, so the order is strict.
+                smaller = words_less(pm, marking_of(cur_parent), mwords_);
+            }
+            if (!smaller) return;
+            if (link.compare_exchange_weak(cur, cand,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+                return;
+            }
+        }
+    }
+
+    void expand(std::uint32_t head, const std::uint64_t* enabled,
+                std::size_t w, WorkerCtx& ctx) {
         const std::uint64_t* marking = marking_of(head);
-        const std::uint64_t* enabled = enabled_of(head);
         for (std::size_t word = 0; word < twords_; ++word) {
             std::uint64_t bits = enabled[word];
             while (bits != 0) {
@@ -377,29 +470,61 @@ private:
                     check_persistence_edges(head, t, enabled, ctx);
                 }
 
+                std::uint64_t meta_init[2];
+                std::size_t meta_init_words = 0;
+                if (cas_tree_) {
+                    meta_init[0] = (std::uint64_t{t.value} << 32) | head;
+                    meta_init[1] = depth_ + 1;
+                    meta_init_words = 2;
+                }
                 const auto interned =
-                    store_.intern(ctx.child.data(), w, cap_);
+                    store_.intern(ctx.child.data(), w, cap_, meta_init,
+                                  meta_init_words);
                 if (interned.id == ConcurrentMarkingStore::kNone) {
                     truncated_.store(true, std::memory_order_relaxed);
                     abort_now_.store(true, std::memory_order_release);
                     return;
                 }
-                if (!interned.inserted) continue;
+                if (!interned.inserted) {
+                    if (maintain_tree_) {
+                        cas_witness_link(interned.id, head, t);
+                    }
+                    continue;
+                }
 
-                std::uint64_t* record = store_.record_mut(interned.id);
-                std::uint64_t* child_enabled =
-                    record + store_.meta_offset();
-                copy_words(child_enabled, enabled, twords_);
+                std::uint64_t* child_enabled;
+                if (diet_) {
+                    util::WordArena& arena = ctx.earena[write_parity_];
+                    child_enabled = arena[arena.push(enabled)];
+                } else {
+                    child_enabled =
+                        store_.record_mut(interned.id) + erec_off_;
+                    copy_words(child_enabled, enabled, twords_);
+                }
                 compiled_.update_enabled(ctx.child.data(), t,
                                          child_enabled);
                 ctx.out_edges += enabled_popcount(child_enabled);
-                visit(interned.id, ctx);
+                visit(interned.id, child_enabled, ctx);
                 ctx.out.push_back(interned.id);
+                ctx.out_rows.push_back(child_enabled);
             }
         }
     }
 
-    void process_layer(std::size_t w) {
+    void run_chunk(std::uint64_t task, std::size_t w, WorkerCtx& ctx) {
+        const auto begin = static_cast<std::size_t>(task >> 32);
+        const auto end =
+            static_cast<std::size_t>(static_cast<std::uint32_t>(task));
+        for (std::size_t i = begin; i < end; ++i) {
+            if (abort_now_.load(std::memory_order_relaxed)) return;
+            expand(frontier_[i], frontier_rows_[i], w, ctx);
+        }
+    }
+
+    /// PR-4 baseline scheduling: a shared atomic cursor deals fixed
+    /// chunks. Kept selectable (options.work_stealing = false) as the
+    /// bench_parallel head-to-head reference.
+    void process_layer_cursor(std::size_t w) {
         WorkerCtx& ctx = ctx_[w];
         for (;;) {
             if (abort_now_.load(std::memory_order_relaxed)) return;
@@ -408,9 +533,54 @@ private:
             if (begin >= frontier_.size()) return;
             const std::size_t end =
                 std::min(begin + chunk_, frontier_.size());
-            for (std::size_t i = begin; i < end; ++i) {
-                expand(frontier_[i], w, ctx);
+            run_chunk((static_cast<std::uint64_t>(begin) << 32) |
+                          static_cast<std::uint32_t>(end),
+                      w, ctx);
+        }
+    }
+
+    /// Work-stealing scheduling: drain the own deque, then steal the
+    /// oldest chunks of any loaded neighbour. Exiting is exact — chunks
+    /// are only pushed by the serial step, so once every deque reads
+    /// empty no further intra-layer work can appear.
+    void process_layer_stealing(std::size_t w) {
+        WorkerCtx& ctx = ctx_[w];
+        unsigned idle = 0;
+        std::uint64_t task;
+        for (;;) {
+            if (abort_now_.load(std::memory_order_relaxed)) return;
+            if (deques_[w].pop(task)) {
+                idle = 0;
+                run_chunk(task, w, ctx);
+                continue;
             }
+            bool ran = false;
+            for (std::size_t k = 1; k < workers_; ++k) {
+                if (deques_[(w + k) % workers_].steal(task)) {
+                    ++ctx.steals;
+                    ran = true;
+                    run_chunk(task, w, ctx);
+                    break;
+                }
+            }
+            if (ran) {
+                idle = 0;
+                continue;
+            }
+            bool all_empty = true;
+            for (std::size_t v = 0; v < workers_ && all_empty; ++v) {
+                all_empty = deques_[v].empty();
+            }
+            if (all_empty) return;
+            spin_pause(idle++);  // transient: a steal race is resolving
+        }
+    }
+
+    void process_layer(std::size_t w) {
+        if (stealing_) {
+            process_layer_stealing(w);
+        } else {
+            process_layer_cursor(w);
         }
     }
 
@@ -426,24 +596,90 @@ private:
         }
     }
 
+    /// Fills the per-worker deques (or resets the shared cursor) with the
+    /// current frontier, dealt as contiguous chunks so the no-steal case
+    /// degenerates to a static partition.
+    void prepare_frontier_schedule() {
+        chunk_ = std::clamp<std::size_t>(
+            frontier_.size() / (workers_ * 8), 1, 256);
+        if (!stealing_) {
+            cursor_.store(0, std::memory_order_relaxed);
+            return;
+        }
+        const std::size_t tasks =
+            (frontier_.size() + chunk_ - 1) / chunk_;
+        const std::size_t per_worker = (tasks + workers_ - 1) / workers_;
+        for (util::StealDeque& deque : deques_) {
+            deque.reset_and_reserve(per_worker);
+        }
+        std::size_t begin = 0;
+        for (std::size_t task = 0; begin < frontier_.size(); ++task) {
+            const std::size_t end =
+                std::min(begin + chunk_, frontier_.size());
+            deques_[task / per_worker].push(
+                (static_cast<std::uint64_t>(begin) << 32) |
+                static_cast<std::uint32_t>(end));
+            begin = end;
+        }
+    }
+
+    /// Bytes resident right now, sampled at layer boundaries for
+    /// memory_stats(): records + table + id index, the live enabled-row
+    /// arenas, and the frontier bookkeeping (retained layers included,
+    /// for the re-sweep mode that keeps them).
+    std::size_t resident_now() const {
+        std::size_t bytes = store_.resident_bytes();
+        for (const WorkerCtx& ctx : ctx_) {
+            for (const util::WordArena& arena : ctx.earena) {
+                bytes += arena.resident_bytes();
+            }
+            bytes += ctx.out.capacity() * sizeof(std::uint32_t) +
+                     ctx.out_rows.capacity() * sizeof(std::uint64_t*);
+        }
+        bytes += frontier_.capacity() * sizeof(std::uint32_t) +
+                 frontier_rows_.capacity() * sizeof(std::uint64_t*);
+        for (const auto& layer : layers_) {
+            bytes += layer.capacity() * sizeof(std::uint32_t);
+        }
+        return bytes;
+    }
+
     /// Serial between-layers step, run by the barrier's completion while
     /// every worker is parked: stitches the next frontier, provisions the
     /// store, settles this layer's goal hits, and decides whether the
     /// pass is done.
     void layer_done() noexcept {
-        layers_.push_back(std::move(frontier_));
-        frontier_ = std::vector<std::uint32_t>();
+        if (cas_tree_) {
+            // Witness links live in the records; the expanded layer's id
+            // list is dead weight at 19M-state scale.
+            frontier_.clear();
+        } else {
+            layers_.push_back(std::move(frontier_));
+            frontier_ = std::vector<std::uint32_t>();
+        }
+        frontier_rows_.clear();
+        // Recycle the arena that backed the just-expanded frontier: its
+        // rows are never read again, the next layer's discoveries
+        // overwrite them in place.
+        write_parity_ = 1 - write_parity_;
+        for (WorkerCtx& ctx : ctx_) {
+            if (diet_) ctx.earena[write_parity_].clear();
+        }
         std::size_t out_edges = 0;
         std::size_t violations = 0;
         for (WorkerCtx& ctx : ctx_) {
             frontier_.insert(frontier_.end(), ctx.out.begin(),
                              ctx.out.end());
+            frontier_rows_.insert(frontier_rows_.end(),
+                                  ctx.out_rows.begin(),
+                                  ctx.out_rows.end());
             ctx.out.clear();
+            ctx.out_rows.clear();
             out_edges += ctx.out_edges;
             ctx.out_edges = 0;
             violations += ctx.violations.size();
         }
-        ++depth_;  // frontier_ now holds states at depth_ == layers_.size()
+        ++depth_;  // frontier_ now holds states at this BFS depth
 
         for (std::size_t g = 0; g < resolved_.size(); ++g) {
             if (resolved_[g]) continue;
@@ -465,6 +701,8 @@ private:
             }
         }
 
+        peak_bytes_ = std::max(peak_bytes_, resident_now());
+
         if (abort_now_.load(std::memory_order_acquire) ||
             frontier_.empty() || (can_early_stop_ && unresolved_ == 0) ||
             (query_.persistence_stop_at_first && violations != 0)) {
@@ -473,18 +711,15 @@ private:
         }
 
         store_.reserve(std::min(store_.size() + out_edges, cap_));
-        cursor_.store(0, std::memory_order_relaxed);
-        chunk_ = std::clamp<std::size_t>(
-            frontier_.size() / (workers_ * 8), 1, 256);
+        prepare_frontier_schedule();
     }
 
     /// Builds the canonical BFS tree in one serial sweep over the stored
     /// edge set: each state's parent is the lexicographically-smallest
     /// (predecessor marking, transition) pair among its previous-layer
-    /// predecessors. Worker scheduling decided which states exist and
-    /// nothing else, so the tree — and every trace walked from it — is
-    /// identical across runs and thread counts. O(edges) once, O(depth)
-    /// per trace, however many witnesses a pass reports.
+    /// predecessors — the kResweep witness mode (the canonical-CAS mode
+    /// maintains the identical tree in the records during exploration
+    /// and never runs this). O(edges) once, O(depth) per trace.
     void build_canonical_tree() {
         if (tree_built_) return;
         tree_built_ = true;
@@ -498,10 +733,19 @@ private:
         constexpr std::uint64_t kUnset = UINT64_MAX;
         parent_of_.assign(states, kUnset);
         std::vector<std::uint64_t> child(std::max<std::size_t>(mwords_, 1));
+        std::vector<std::uint64_t> enabled_scratch(twords_);
         for (std::size_t d = 0; d + 1 < layers_.size(); ++d) {
             for (const std::uint32_t pid : layers_[d]) {
                 const std::uint64_t* pm = marking_of(pid);
-                const std::uint64_t* enabled = enabled_of(pid);
+                const std::uint64_t* enabled;
+                if (diet_) {
+                    // The frontier cache dropped this layer's bitsets;
+                    // recompute from the marking.
+                    compiled_.enabled_set(pm, enabled_scratch.data());
+                    enabled = enabled_scratch.data();
+                } else {
+                    enabled = store_[pid] + erec_off_;
+                }
                 for (std::size_t w = 0; w < twords_; ++w) {
                     std::uint64_t bits = enabled[w];
                     while (bits != 0) {
@@ -543,16 +787,28 @@ private:
         }
     }
 
-    /// Canonical BFS-shortest trace for a stored state, walked off the
-    /// canonical tree.
+    /// Canonical BFS-shortest trace for a stored state: in CAS mode a
+    /// plain walk over the records' witness links (already canonical-min
+    /// when the workers joined), otherwise off the re-swept tree.
     Trace reconstruct(std::uint32_t id) {
-        build_canonical_tree();
         Trace trace;
         std::uint32_t cursor = id;
-        while (parent_of_[cursor] != UINT64_MAX) {
-            trace.firings.push_back(TransitionId{
-                static_cast<std::uint32_t>(parent_of_[cursor] >> 32)});
-            cursor = static_cast<std::uint32_t>(parent_of_[cursor]);
+        if (cas_tree_) {
+            for (;;) {
+                const std::uint64_t link = store_[cursor][mwords_];
+                const auto parent = static_cast<std::uint32_t>(link);
+                if (parent == ConcurrentMarkingStore::kNone) break;
+                trace.firings.push_back(TransitionId{
+                    static_cast<std::uint32_t>(link >> 32)});
+                cursor = parent;
+            }
+        } else {
+            build_canonical_tree();
+            while (parent_of_[cursor] != UINT64_MAX) {
+                trace.firings.push_back(TransitionId{
+                    static_cast<std::uint32_t>(parent_of_[cursor] >> 32)});
+                cursor = static_cast<std::uint32_t>(parent_of_[cursor]);
+            }
         }
         std::reverse(trace.firings.begin(), trace.firings.end());
         return trace;
@@ -567,13 +823,23 @@ private:
     const std::size_t mwords_;
     const std::size_t twords_;
     const std::size_t workers_;
+    const bool cas_tree_;   ///< canonical-CAS witness mode (vs re-sweep)
+    const bool diet_;       ///< frontier-only enabled-set cache
+    const bool stealing_;   ///< deque scheduling (vs atomic cursor)
+    const std::size_t wmeta_words_;  ///< witness meta words per record
+    const std::size_t erec_off_;     ///< in-record enabled offset (!diet_)
 
     ConcurrentMarkingStore store_;
     std::vector<std::uint32_t> frontier_;
+    /// Enabled-set row per frontier index, stitched at the barrier.
+    std::vector<const std::uint64_t*> frontier_rows_;
+    /// Expanded layers' id lists — retained by the re-sweep mode only.
     std::vector<std::vector<std::uint32_t>> layers_;
     std::size_t depth_ = 0;  ///< BFS depth of the frontier being expanded
+    int write_parity_ = 1;   ///< worker arena receiving discoveries
     std::atomic<std::size_t> cursor_{0};
     std::size_t chunk_ = 1;
+    std::size_t peak_bytes_ = 0;
 
     std::vector<std::uint8_t> resolved_;
     std::vector<std::uint32_t> witness_id_;
@@ -583,12 +849,14 @@ private:
     std::vector<std::uint32_t> depth_of_;   ///< id -> BFS depth
     std::vector<std::uint64_t> parent_of_;  ///< id -> via << 32 | parent
     bool can_early_stop_ = false;
+    bool maintain_tree_ = false;  ///< CAS links worth updating this pass
 
     std::atomic<bool> abort_now_{false};
     std::atomic<bool> truncated_{false};
     bool done_ = false;
 
     std::vector<WorkerCtx> ctx_;
+    std::vector<util::StealDeque> deques_;
     std::mutex error_mu_;
     std::exception_ptr error_;
 };
@@ -598,12 +866,21 @@ MultiResult ParallelPass::run() {
     store_.reserve(std::min<std::size_t>(1, cap_));
     const Marking m0 = net_.initial_marking();
     copy_words(ctx_[0].child.data(), m0.word_data(), m0.word_count());
-    const auto root = store_.intern(ctx_[0].child.data(), 0, cap_);
-    std::uint64_t* root_enabled =
-        store_.record_mut(root.id) + store_.meta_offset();
+    const std::uint64_t root_meta[2] = {
+        std::uint64_t{ConcurrentMarkingStore::kNone}, 0};
+    const auto root = store_.intern(ctx_[0].child.data(), 0, cap_,
+                                    root_meta, wmeta_words_);
+    std::uint64_t* root_enabled;
+    if (diet_) {
+        util::WordArena& arena = ctx_[0].earena[1 - write_parity_];
+        root_enabled = arena[arena.push_zero()];
+    } else {
+        root_enabled = store_.record_mut(root.id) + erec_off_;
+    }
     compiled_.enabled_set(store_[root.id], root_enabled);
-    visit(root.id, ctx_[0]);
+    visit(root.id, root_enabled, ctx_[0]);
     frontier_.push_back(root.id);
+    frontier_rows_.push_back(root_enabled);
     // Settle root hits exactly like a layer boundary would (depth 0, so
     // compensate the depth bump layer_done() applies).
     {
@@ -620,6 +897,7 @@ MultiResult ParallelPass::run() {
             return assemble();  // nothing to explore / nothing left to ask
         }
         store_.reserve(std::min(1 + root_out, cap_));
+        prepare_frontier_schedule();
     }
 
     auto completion = [this]() noexcept { layer_done(); };
@@ -647,9 +925,10 @@ MultiResult ParallelPass::run() {
 
 MultiResult ParallelPass::assemble() {
     // Adopt the never-expanded last frontier as the final layer: an
-    // early-stopped (or truncated) pass has stored states there, and
-    // witness reconstruction needs their depths too.
-    if (!frontier_.empty()) {
+    // early-stopped (or truncated) pass has stored states there, and the
+    // re-sweep's tree needs their depths too (the CAS tree lives in the
+    // records and needs no layer lists).
+    if (!cas_tree_ && !frontier_.empty()) {
         layers_.push_back(std::move(frontier_));
         frontier_.clear();
     }
@@ -660,6 +939,11 @@ MultiResult ParallelPass::assemble() {
     for (const WorkerCtx& ctx : ctx_) {
         result.edges_explored += ctx.edges;
     }
+    result.memory.records = store_.size();
+    result.memory.record_bytes = store_.record_bytes();
+    result.memory.resident_bytes = resident_now();
+    result.memory.peak_bytes =
+        std::max(peak_bytes_, result.memory.resident_bytes);
 
     if (query_.collect_deadlocks) {
         std::vector<std::uint32_t> dead;
@@ -707,6 +991,7 @@ MultiResult ParallelPass::assemble() {
         r.states_explored = result.states_explored;
         r.edges_explored = result.edges_explored;
         r.truncated = result.truncated;
+        r.memory = result.memory;
         if (resolved_[g]) {
             r.witness = materialize(witness_id_[g]);
             r.witness_trace = reconstruct(witness_id_[g]);
@@ -748,6 +1033,7 @@ ReachabilityResult ParallelReachabilityExplorer::explore_all() {
     result.states_explored = multi.states_explored;
     result.edges_explored = multi.edges_explored;
     result.truncated = multi.truncated;
+    result.memory = multi.memory;
     return result;
 }
 

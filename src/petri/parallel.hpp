@@ -60,18 +60,35 @@ public:
     /// Thread-safe lookup-or-insert. `worker` picks the arena the record
     /// is appended to; `capacity_limit` is the max_states cap (ids are
     /// only ever allocated below it, so when an insert fails on capacity
-    /// exactly `capacity_limit` records exist). The inserting caller owns
-    /// the record's meta area until the next barrier publishes it.
+    /// exactly `capacity_limit` records exist).
+    ///
+    /// The first `meta_init_words` words of the record's meta area are
+    /// copied from `meta_init` BEFORE the id is published, so concurrent
+    /// readers of a freshly interned record always see them initialised
+    /// (the canonical-min witness link depends on this). Any remaining
+    /// meta words start zeroed and belong to the inserting caller until
+    /// the next barrier publishes them.
     InternResult intern(const std::uint64_t* words, std::size_t worker,
-                        std::size_t capacity_limit);
+                        std::size_t capacity_limit,
+                        const std::uint64_t* meta_init = nullptr,
+                        std::size_t meta_init_words = 0);
 
     /// Serial (between-layers): ensures the table and the id->record
     /// index can absorb `needed` records without any mid-layer growth.
+    /// Rehashing recomputes record hashes instead of caching one word
+    /// per id — O(records) per doubling, in exchange for 8 fewer resident
+    /// bytes per record for the whole pass.
     void reserve(std::size_t needed);
 
     /// Serial lookup without insertion; kNone when absent. Used by the
     /// post-pass canonical-tree sweep, after all interning is done.
     std::uint32_t find(const std::uint64_t* words) const noexcept;
+
+    /// Record payload bytes resident in the per-worker arenas.
+    std::size_t record_bytes() const noexcept;
+
+    /// Records + interning table + id->record index. Serial only.
+    std::size_t resident_bytes() const noexcept;
 
 private:
     std::uint64_t hash(const std::uint64_t* words) const noexcept;
@@ -94,7 +111,6 @@ private:
     std::size_t table_size_ = 0;  ///< power of two
     std::unique_ptr<std::atomic<std::uint64_t>[]> table_;
     std::vector<std::uint64_t*> records_;  ///< id -> record, set by winner
-    std::vector<std::uint64_t> hashes_;    ///< id -> hash, for rehashing
     std::vector<util::WordArena> arenas_;  ///< one per worker
 };
 

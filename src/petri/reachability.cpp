@@ -85,6 +85,7 @@ ReachabilityResult ReachabilityExplorer::explore_all() {
     result.states_explored = multi.states_explored;
     result.edges_explored = multi.edges_explored;
     result.truncated = multi.truncated;
+    result.memory = multi.memory;
     return result;
 }
 
@@ -168,10 +169,25 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     compiled_->enabled_set(store_[root.id], enabled_store[root.id]);
     visit(root.id);
 
+    auto resident_now = [&]() {
+        return store_.resident_bytes() + enabled_store.resident_bytes();
+    };
+    std::size_t peak_bytes = resident_now();
+
     // The BFS frontier is implicit: ids are dense discovery-order
     // indices and the queue is FIFO, so the frontier is exactly the id
     // range [head, store_.size()).
+    const std::size_t rpb = enabled_store.records_per_block();
     for (std::uint32_t head = 0; head < store_.size() && !stop; ++head) {
+        if (options_.frontier_enabled_cache && head % rpb == 0) {
+            // Frontier-only enabled-set cache: every state below `head`
+            // is fully expanded and its bitset will never be read again,
+            // so whole blocks behind the frontier go back to the
+            // allocator (witness traces walk the records' meta words,
+            // which stay).
+            peak_bytes = std::max(peak_bytes, resident_now());
+            enabled_store.release_before(head);
+        }
         const std::uint64_t* marking = store_[head];
         const std::uint64_t* enabled = enabled_store[head];
 
@@ -237,11 +253,17 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     }
 
     result.states_explored = store_.size();
+    result.memory.records = store_.size();
+    result.memory.record_bytes = store_.record_bytes();
+    result.memory.resident_bytes = resident_now();
+    result.memory.peak_bytes =
+        std::max(peak_bytes, result.memory.resident_bytes);
     for (std::size_t g = 0; g < query.goals.size(); ++g) {
         ReachabilityResult& r = result.goals[g];
         r.states_explored = result.states_explored;
         r.edges_explored = result.edges_explored;
         r.truncated = result.truncated;
+        r.memory = result.memory;
         if (goal_hit[g] != kNoParent) {
             r.witness = materialize(goal_hit[g]);
             r.witness_trace = rebuild_trace(goal_hit[g]);

@@ -33,12 +33,54 @@ struct ReachabilityOptions {
     /// hardware thread, 1 = the sequential engine's exact code path.
     /// ReachabilityExplorer itself is single-threaded and ignores this.
     std::size_t threads = 0;
+    /// Frontier-only enabled-set cache (the memory diet that reaches the
+    /// 19M-state OPE models): a state's enabled bitset is kept only while
+    /// its BFS layer can still be expanded and is dropped once the layer
+    /// is done, removing enabled_words() words from every resident record.
+    /// Results are bit-identical either way — the bitsets of fully
+    /// expanded layers are never read again.
+    bool frontier_enabled_cache = true;
+    /// How ParallelReachabilityExplorer builds the canonical witness tree
+    /// (ReachabilityExplorer is single-threaded and ignores this).
+    enum class WitnessTree {
+        /// Maintain a per-record canonical-min (depth, parent, via) meta
+        /// word with a CAS on same-layer duplicate edges during
+        /// exploration: traces are free at reconstruction time. The
+        /// default — measured ~15-20% slower on clean passes that carry
+        /// a goal (the maintenance only runs when a trace could be
+        /// requested), while violated passes skip the re-sweep's extra
+        /// serial O(edges) walk entirely (see bench_parallel).
+        kCanonicalCas,
+        /// PR-4 behaviour: one serial re-fire-and-probe sweep over the
+        /// stored states when the first trace is requested. Clean passes
+        /// pay nothing; every violated pass pays roughly one extra
+        /// sequential exploration.
+        kResweep,
+    };
+    WitnessTree witness_tree = WitnessTree::kCanonicalCas;
+    /// Intra-layer scheduling of ParallelReachabilityExplorer workers:
+    /// per-worker Chase-Lev deques with stealing (default), or the PR-4
+    /// shared atomic-cursor chunking (kept as the bench baseline).
+    bool work_stealing = true;
+};
+
+/// Memory footprint of one exploration pass, for capacity planning at the
+/// 19M-state scale (surfaced as ReachabilityResult/MultiResult::memory
+/// and through verify::Verifier / flow::Design).
+struct MemoryStats {
+    std::size_t records = 0;        ///< interned markings
+    std::size_t record_bytes = 0;   ///< arena-resident record payloads
+    /// Records + interning table + id index + live enabled-set cache +
+    /// frontier bookkeeping, at the end of the pass.
+    std::size_t resident_bytes = 0;
+    std::size_t peak_bytes = 0;  ///< max resident over the pass
 };
 
 struct ReachabilityResult {
     std::size_t states_explored = 0;
     std::size_t edges_explored = 0;
     bool truncated = false;
+    MemoryStats memory;
 
     /// Set when a goal predicate was supplied and matched. Always the
     /// *first* match in BFS order, i.e. a shortest witness, regardless of
@@ -92,6 +134,7 @@ struct MultiResult {
     std::size_t states_explored = 0;
     std::size_t edges_explored = 0;
     bool truncated = false;
+    MemoryStats memory;
 
     /// One entry per MultiQuery::goals entry, all sharing the pass's
     /// states/edges/truncated counters.

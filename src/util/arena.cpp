@@ -5,10 +5,11 @@
 
 namespace rap::util {
 
-WordArena::WordArena(std::size_t record_words)
+WordArena::WordArena(std::size_t record_words,
+                     std::size_t target_block_words)
     : record_words_(std::max<std::size_t>(record_words, 1)),
       records_per_block_(
-          std::max<std::size_t>(kTargetBlockWords / record_words_, 1)) {}
+          std::max<std::size_t>(target_block_words / record_words_, 1)) {}
 
 std::uint64_t* WordArena::grow_to(std::size_t index) {
     if (index == blocks_.size() * records_per_block_) {
@@ -28,6 +29,15 @@ std::size_t WordArena::push(const std::uint64_t* src) {
     std::uint64_t* slot = grow_to(size_);
     std::memcpy(slot, src, record_words_ * sizeof(std::uint64_t));
     return size_++;
+}
+
+void WordArena::release_before(std::size_t index) noexcept {
+    const std::size_t full_blocks =
+        std::min(index / records_per_block_, blocks_.size());
+    for (std::size_t b = released_blocks_; b < full_blocks; ++b) {
+        blocks_[b].reset();
+    }
+    released_blocks_ = std::max(released_blocks_, full_blocks);
 }
 
 }  // namespace rap::util

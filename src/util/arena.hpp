@@ -15,8 +15,14 @@ namespace rap::util {
 /// thousands of records.
 class WordArena {
 public:
-    /// Every record is exactly `record_words` 64-bit words.
-    explicit WordArena(std::size_t record_words);
+    /// Every record is exactly `record_words` 64-bit words. Blocks hold
+    /// ~`target_block_words` words each: the default amortises well for
+    /// stores that grow monotonically; per-layer scratch arenas (the
+    /// enabled-row cache) pass something small so a fleet of them does
+    /// not pin half-empty blocks.
+    explicit WordArena(std::size_t record_words,
+                       std::size_t target_block_words = std::size_t{1}
+                                                        << 16);
 
     std::size_t record_words() const noexcept { return record_words_; }
     std::size_t size() const noexcept { return size_; }
@@ -27,6 +33,24 @@ public:
     /// Appends a copy of `src[0 .. record_words)`; returns its index.
     std::size_t push(const std::uint64_t* src);
 
+    std::size_t records_per_block() const noexcept {
+        return records_per_block_;
+    }
+
+    /// Heap bytes currently held by live blocks (released blocks do not
+    /// count). The arena's contribution to an engine's memory_stats().
+    std::size_t resident_bytes() const noexcept {
+        return (blocks_.size() - released_blocks_) * records_per_block_ *
+               record_words_ * sizeof(std::uint64_t);
+    }
+
+    /// Frees every block whose records all have index < `index` — the
+    /// frontier-only cache hook: once a BFS layer is fully expanded, its
+    /// records are never read again and their blocks can go back to the
+    /// allocator. Released records must not be accessed again; indices
+    /// >= `index` (and future push results) stay valid.
+    void release_before(std::size_t index) noexcept;
+
     std::uint64_t* operator[](std::size_t index) noexcept {
         return blocks_[index / records_per_block_].get() +
                (index % records_per_block_) * record_words_;
@@ -36,17 +60,24 @@ public:
                (index % records_per_block_) * record_words_;
     }
 
-    /// Drops every record but keeps the blocks for reuse.
-    void clear() noexcept { size_ = 0; }
+    /// Drops every record. Keeps the blocks for reuse — unless some were
+    /// released, in which case the block list is discarded wholesale so
+    /// the arena never hands out an index backed by a freed block.
+    void clear() noexcept {
+        size_ = 0;
+        if (released_blocks_ != 0) {
+            blocks_.clear();
+            released_blocks_ = 0;
+        }
+    }
 
 private:
     std::uint64_t* grow_to(std::size_t index);
 
-    static constexpr std::size_t kTargetBlockWords = std::size_t{1} << 16;
-
     std::size_t record_words_;
     std::size_t records_per_block_;
     std::size_t size_ = 0;
+    std::size_t released_blocks_ = 0;
     std::vector<std::unique_ptr<std::uint64_t[]>> blocks_;
 };
 

@@ -1,0 +1,19 @@
+#include "util/steal_deque.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rap::util {
+
+void StealDeque::reset_and_reserve(std::size_t tasks) {
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+    const std::size_t want =
+        std::bit_ceil(std::max<std::size_t>(tasks, 64));
+    if (want > capacity()) {
+        buffer_ = std::make_unique<std::atomic<std::uint64_t>[]>(want);
+        mask_ = want - 1;
+    }
+}
+
+}  // namespace rap::util

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace rap::util {
+
+/// Chase-Lev work-stealing deque over 64-bit task words, specialised for
+/// the parallel reachability engine's layer-synchronous shape: all tasks
+/// of a batch are pushed by one thread while no worker runs (the engine's
+/// serial barrier step), then the owner pops from the bottom while any
+/// number of thieves steal from the top. Because nothing is pushed while
+/// workers run, capacity is fixed per batch and the deque never grows
+/// mid-flight — `reset_and_reserve` provisions it between batches.
+///
+/// The synchronisation is the classic Chase-Lev top/bottom protocol kept
+/// on seq_cst operations (no standalone fences: ThreadSanitizer models
+/// atomic operations precisely but not fence-based publication, and the
+/// TSan CI job gates this code).
+class StealDeque {
+public:
+    StealDeque() = default;
+
+    bool empty() const noexcept {
+        return top_.load(std::memory_order_seq_cst) >=
+               bottom_.load(std::memory_order_seq_cst);
+    }
+
+    /// Serial (between batches): drops any leftovers and guarantees room
+    /// for `tasks` pushes. Must not run concurrently with pop/steal.
+    void reset_and_reserve(std::size_t tasks);
+
+    /// Serial (between batches): appends a task at the bottom.
+    void push(std::uint64_t task) noexcept {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        buffer_[static_cast<std::size_t>(b) & mask_].store(
+            task, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /// Owner-only: takes the most recently pushed remaining task.
+    bool pop(std::uint64_t& out) noexcept {
+        const std::int64_t b =
+            bottom_.fetch_sub(1, std::memory_order_seq_cst) - 1;
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t > b) {  // already empty: undo the reservation
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = buffer_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed);
+        if (t != b) return true;  // more than one task remained
+        // Last task: race the thieves for it through top.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+    }
+
+    /// Any thread: takes the oldest remaining task. A false return means
+    /// empty OR a lost race — callers sweep victims until every deque
+    /// reports empty(), which is exact here because nothing pushes while
+    /// workers run.
+    bool steal(std::uint64_t& out) noexcept {
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b) return false;
+        out = buffer_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+        return top_.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_seq_cst);
+    }
+
+    std::size_t capacity() const noexcept { return mask_ ? mask_ + 1 : 0; }
+
+private:
+    std::size_t mask_ = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buffer_;
+    /// Thieves advance top, the owner advances bottom; separate cache
+    /// lines so steals do not bounce the owner's line.
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace rap::util

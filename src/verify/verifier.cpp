@@ -51,12 +51,15 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     ropts.max_states = options_.max_states;
     ropts.stop_at_first_match = stop_at_first_match;
     ropts.threads = options_.threads;
+    ropts.frontier_enabled_cache = options_.frontier_enabled_cache;
     // The parallel explorer shards the BFS frontier over the shared
     // compiled artifact; at one (resolved) thread it delegates to the
     // sequential engine's exact code path.
     petri::ParallelReachabilityExplorer explorer(model_->compiled(), ropts);
     ++explorations_;
-    return explorer.run_query(query);
+    auto result = explorer.run_query(query);
+    last_memory_ = result.memory;
+    return result;
 }
 
 void Verifier::fill_traces(Finding& finding,

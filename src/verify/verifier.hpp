@@ -61,6 +61,13 @@ struct VerifyOptions {
     /// may stop mid-layer there, so states_explored and witness details
     /// can differ between threads == 1 and parallel configurations.
     std::size_t threads = 0;
+    /// Frontier-only enabled-set cache (petri::ReachabilityOptions::
+    /// frontier_enabled_cache): drops the enabled bitsets of fully
+    /// expanded BFS layers, shrinking resident bytes per state by
+    /// roughly the enabled-word share of the record — the knob that lets
+    /// one pass hold the ~19M-state 4-stage OPE models. Verdicts and
+    /// witnesses are bit-identical either way.
+    bool frontier_enabled_cache = true;
 };
 
 /// A user-supplied Reach-style predicate to evaluate alongside the
@@ -150,6 +157,12 @@ public:
     /// Lets callers (and tests) confirm verify_all's single-pass claim.
     std::size_t explorations_run() const noexcept { return explorations_; }
 
+    /// Memory footprint of the most recent exploration (records, resident
+    /// and peak bytes) — all zeros until one has run.
+    const petri::MemoryStats& memory_stats() const noexcept {
+        return last_memory_;
+    }
+
     const dfs::Translation& translation() const noexcept {
         return model_->translation();
     }
@@ -181,6 +194,7 @@ private:
     VerifyOptions options_;
     std::shared_ptr<const CompiledModel> model_;
     mutable std::size_t explorations_ = 0;
+    mutable petri::MemoryStats last_memory_;
 };
 
 }  // namespace rap::verify

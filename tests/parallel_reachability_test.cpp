@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -25,6 +27,7 @@
 #include "pipeline/builder.hpp"
 #include "pipeline/wagging.hpp"
 #include "util/rng.hpp"
+#include "util/steal_deque.hpp"
 
 namespace rap::petri {
 namespace {
@@ -124,6 +127,126 @@ Fixture random_fixture(std::uint64_t seed) {
         }
     }
     return {net.name(), std::move(net)};
+}
+
+/// A deep token ring at the Petri level: `n` places in a cycle with
+/// `tokens` evenly spaced tokens. BFS diameter grows with n while layers
+/// stay narrow — the steal-heavy workload the work-stealing scheduler
+/// exists for.
+Fixture deep_ring_fixture(int n, int spacing) {
+    dfs::Graph g("deepring_n" + std::to_string(n) + "_s" +
+                 std::to_string(spacing));
+    std::vector<dfs::NodeId> regs;
+    for (int i = 0; i < n; ++i) {
+        regs.push_back(g.add_control("c" + std::to_string(i),
+                                     i % spacing == 0,
+                                     dfs::TokenValue::True));
+    }
+    for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
+    return {g.name(), dfs::to_petri(g).net};
+}
+
+// ------------------------------------------------------------- fuzzing --
+
+/// Fork/join topology: a live backbone ring plus random blocks where one
+/// transition forks a token into 2-3 parallel branch chains and a join
+/// transition synchronises them back — real concurrency (wide layers)
+/// and synchronisation (joins starve until every branch arrives).
+Fixture fork_join_fixture(std::uint64_t seed) {
+    util::Rng rng(seed ^ 0xF04BULL);
+    Net net("fuzz_forkjoin_" + std::to_string(seed));
+    const int len = 3 + static_cast<int>(rng.below(3));
+    std::vector<PlaceId> ring;
+    for (int i = 0; i < len; ++i) {
+        ring.push_back(net.add_place("r_p" + std::to_string(i), i == 0));
+    }
+    for (int i = 0; i < len; ++i) {
+        const auto t = net.add_transition("r_t" + std::to_string(i));
+        net.add_input_arc(ring[i], t);
+        net.add_output_arc(t, ring[(i + 1) % len]);
+    }
+    const int blocks = 1 + static_cast<int>(rng.below(2));
+    for (int b = 0; b < blocks; ++b) {
+        const std::string tag = "b" + std::to_string(b);
+        const auto fork = net.add_transition(tag + "_fork");
+        net.add_input_arc(ring[rng.below(ring.size())], fork);
+        const auto join = net.add_transition(tag + "_join");
+        const int branches = 2 + static_cast<int>(rng.below(2));
+        for (int k = 0; k < branches; ++k) {
+            const int hops = 1 + static_cast<int>(rng.below(2));
+            PlaceId prev = net.add_place(
+                tag + "_k" + std::to_string(k) + "_p0", false);
+            net.add_output_arc(fork, prev);
+            for (int h = 1; h <= hops; ++h) {
+                const auto step = net.add_transition(
+                    tag + "_k" + std::to_string(k) + "_t" +
+                    std::to_string(h));
+                const auto next = net.add_place(
+                    tag + "_k" + std::to_string(k) + "_p" +
+                    std::to_string(h), false);
+                net.add_input_arc(prev, step);
+                net.add_output_arc(step, next);
+                prev = next;
+            }
+            net.add_input_arc(prev, join);
+        }
+        net.add_output_arc(join, ring[rng.below(ring.size())]);
+    }
+    return {net.name(), std::move(net)};
+}
+
+/// Bridged mesh topology: a g x g torus of places with a few tokens,
+/// transitions shifting a token right/down, read-arc guards sprinkled
+/// in, plus long-range bridge transitions — dense duplicate edges (many
+/// paths to the same marking), the canonical-min CAS hot case.
+Fixture mesh_fixture(std::uint64_t seed) {
+    util::Rng rng(seed ^ 0x3E5AULL);
+    Net net("fuzz_mesh_" + std::to_string(seed));
+    const int g = 3 + static_cast<int>(rng.below(2));
+    const int tokens = 2 + static_cast<int>(rng.below(2));
+    std::vector<PlaceId> cell;
+    for (int i = 0; i < g * g; ++i) {
+        cell.push_back(
+            net.add_place("m_p" + std::to_string(i), i < tokens));
+    }
+    auto shift = [&](int from, int to, const std::string& name) {
+        const auto t = net.add_transition(name);
+        net.add_input_arc(cell[from], t);
+        net.add_output_arc(t, cell[to]);
+        if (rng.chance(0.2)) {
+            int guard = static_cast<int>(rng.below(cell.size()));
+            while (guard == from) {
+                guard = static_cast<int>(rng.below(cell.size()));
+            }
+            net.add_read_arc(cell[guard], t);
+        }
+    };
+    for (int r = 0; r < g; ++r) {
+        for (int c = 0; c < g; ++c) {
+            const int i = r * g + c;
+            shift(i, r * g + (c + 1) % g, "m_r" + std::to_string(i));
+            shift(i, ((r + 1) % g) * g + c, "m_d" + std::to_string(i));
+        }
+    }
+    const int bridges = static_cast<int>(rng.below(3));
+    for (int b = 0; b < bridges; ++b) {
+        const int from = static_cast<int>(rng.below(cell.size()));
+        int to = static_cast<int>(rng.below(cell.size()));
+        while (to == from) to = static_cast<int>(rng.below(cell.size()));
+        shift(from, to, "m_b" + std::to_string(b));
+    }
+    return {net.name(), std::move(net)};
+}
+
+/// Seeded random model generator cycling through the three topology
+/// classes. Every fixture name embeds the seed, so a differential
+/// mismatch prints exactly what to replay.
+Fixture fuzz_fixture(std::uint64_t seed) {
+    switch (seed % 3) {
+        case 0: return fork_join_fixture(seed);
+        case 1: return mesh_fixture(seed);
+        default: return random_fixture(seed);
+    }
 }
 
 std::vector<Fixture> all_fixtures() {
@@ -242,6 +365,71 @@ TEST(ParallelReachability, DifferentialAgainstSequentialOnEveryFixture) {
             expect_equivalent(fixture.net, reference, result,
                               fixture.name + " @" +
                                   std::to_string(threads) + "t");
+        }
+    }
+}
+
+TEST(ParallelReachability, RandomizedDifferentialFuzzer) {
+    // >= 20 seeded random models across three topology classes (rings
+    // with bridges, fork/join blocks, bridged meshes), each cross-checked
+    // sequential vs 2/4/8 threads on every counter and set the
+    // differential contract covers. On mismatch the context names the
+    // seed and topology to replay.
+    for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+        const Fixture fixture = fuzz_fixture(seed);
+        SCOPED_TRACE("fuzz seed=" + std::to_string(seed) + " model=" +
+                     fixture.name);
+        const CompiledNet compiled(fixture.net);
+        const QueryBundle bundle(fixture.net);
+
+        ReachabilityOptions seq_options;
+        seq_options.stop_at_first_match = false;
+        ReachabilityExplorer seq(compiled, seq_options);
+        const auto reference = seq.run_query(bundle.query);
+        ASSERT_FALSE(reference.truncated) << fixture.name;
+
+        for (const std::size_t threads : kThreadCounts) {
+            ReachabilityOptions options;
+            options.stop_at_first_match = false;
+            options.threads = threads;
+            ParallelReachabilityExplorer par(compiled, options);
+            const auto result = par.run_query(bundle.query);
+            expect_equivalent(fixture.net, reference, result,
+                              "fuzz seed=" + std::to_string(seed) +
+                                  " model=" + fixture.name + " @" +
+                                  std::to_string(threads) + "t");
+        }
+    }
+}
+
+TEST(ParallelReachability, WorkStealingMatchesCursorOnNarrowLayers) {
+    // The steal-heavy workload: deep rings whose BFS layers stay narrow,
+    // where deque scheduling actually redistributes work. Both
+    // schedulers must produce the canonical results at every thread
+    // count.
+    for (const Fixture& fixture :
+         {deep_ring_fixture(16, 8), deep_ring_fixture(16, 4)}) {
+        const CompiledNet compiled(fixture.net);
+        const QueryBundle bundle(fixture.net);
+
+        ReachabilityOptions seq_options;
+        seq_options.stop_at_first_match = false;
+        ReachabilityExplorer seq(compiled, seq_options);
+        const auto reference = seq.run_query(bundle.query);
+
+        for (const std::size_t threads : kThreadCounts) {
+            for (const bool stealing : {true, false}) {
+                ReachabilityOptions options;
+                options.stop_at_first_match = false;
+                options.threads = threads;
+                options.work_stealing = stealing;
+                ParallelReachabilityExplorer par(compiled, options);
+                const auto result = par.run_query(bundle.query);
+                expect_equivalent(
+                    fixture.net, reference, result,
+                    fixture.name + (stealing ? " steal" : " cursor") +
+                        " @" + std::to_string(threads) + "t");
+            }
         }
     }
 }
@@ -393,6 +581,168 @@ TEST(ParallelReachability, NoTruncationAtExactFit) {
     EXPECT_EQ(result.states_explored, exact);
 }
 
+// ----------------------------------------------------- memory contract --
+
+/// Full results of two passes must be indistinguishable: counters, sets,
+/// witness markings AND traces (both configurations pick the canonical
+/// witness, so full equality is the contract, not just equal depths).
+void expect_identical(const MultiResult& a, const MultiResult& b,
+                      const std::string& context) {
+    EXPECT_EQ(a.states_explored, b.states_explored) << context;
+    EXPECT_EQ(a.edges_explored, b.edges_explored) << context;
+    EXPECT_EQ(a.truncated, b.truncated) << context;
+    EXPECT_EQ(sorted(a.deadlocks), sorted(b.deadlocks)) << context;
+    EXPECT_EQ(violation_set(a.persistence_violations),
+              violation_set(b.persistence_violations))
+        << context;
+    ASSERT_EQ(a.goals.size(), b.goals.size()) << context;
+    for (std::size_t g = 0; g < a.goals.size(); ++g) {
+        ASSERT_EQ(a.goals[g].found(), b.goals[g].found())
+            << context << " goal " << g;
+        if (!a.goals[g].found()) continue;
+        EXPECT_EQ(a.goals[g].witness, b.goals[g].witness)
+            << context << " goal " << g;
+        EXPECT_EQ(a.goals[g].witness_trace->firings,
+                  b.goals[g].witness_trace->firings)
+            << context << " goal " << g;
+    }
+    ASSERT_EQ(a.persistence_violations.size(),
+              b.persistence_violations.size())
+        << context;
+    for (std::size_t v = 0; v < a.persistence_violations.size(); ++v) {
+        EXPECT_EQ(a.persistence_violations[v].trace_to_marking.firings,
+                  b.persistence_violations[v].trace_to_marking.firings)
+            << context << " violation " << v;
+    }
+}
+
+TEST(MemoryDiet, CacheDropsEnabledShareAndKeepsResultsBitIdentical) {
+    // The frontier-only enabled-set cache must (a) change no answer bit
+    // and (b) shrink record bytes by the enabled-word share of the
+    // record — the diet that fits the ~19M-state OPE models in memory.
+    const Fixture fixture = ope_fixture(3, 3);
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    MultiResult with_cache;
+    MultiResult without_cache;
+    for (const bool cache : {true, false}) {
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;
+        options.threads = 4;
+        options.frontier_enabled_cache = cache;
+        ParallelReachabilityExplorer par(compiled, options);
+        (cache ? with_cache : without_cache) = par.run_query(bundle.query);
+    }
+    expect_identical(with_cache, without_cache, "ope_s3_d3 cache on/off");
+
+    // Record layout: marking + 2 witness meta words, plus the enabled
+    // words only when the cache is off. Arena block granularity makes
+    // the measured byte counts approximate; 5% covers it at 191k states.
+    const std::size_t mwords = compiled.marking_words();
+    const std::size_t twords = compiled.enabled_words();
+    const double expected_drop =
+        static_cast<double>(twords) /
+        static_cast<double>(mwords + 2 + twords);
+    EXPECT_EQ(with_cache.memory.records, with_cache.states_explored);
+    ASSERT_GT(without_cache.memory.record_bytes, 0u);
+    const double drop =
+        1.0 - static_cast<double>(with_cache.memory.record_bytes) /
+                  static_cast<double>(without_cache.memory.record_bytes);
+    EXPECT_NEAR(drop, expected_drop, 0.05)
+        << "record diet off-target: " << with_cache.memory.record_bytes
+        << " vs " << without_cache.memory.record_bytes << " bytes";
+    EXPECT_LT(with_cache.memory.resident_bytes,
+              without_cache.memory.resident_bytes);
+    EXPECT_GE(with_cache.memory.peak_bytes,
+              with_cache.memory.resident_bytes);
+
+    // The sequential engine's variant of the cache (block release behind
+    // the implicit frontier) obeys the same result contract.
+    ReachabilityOptions seq_options;
+    seq_options.stop_at_first_match = false;
+    MultiResult seq_with;
+    MultiResult seq_without;
+    for (const bool cache : {true, false}) {
+        seq_options.frontier_enabled_cache = cache;
+        ReachabilityExplorer seq(compiled, seq_options);
+        (cache ? seq_with : seq_without) = seq.run_query(bundle.query);
+    }
+    expect_identical(seq_with, seq_without, "ope_s3_d3 sequential on/off");
+    EXPECT_LT(seq_with.memory.resident_bytes,
+              seq_without.memory.resident_bytes);
+    EXPECT_GT(seq_without.memory.peak_bytes, 0u);
+}
+
+TEST(MemoryDiet, EvictionPathStressUnderEveryScheduler) {
+    // Many-layer model, every scheduler/witness-tree combination: the
+    // arena recycling (parallel) and block release (sequential) paths
+    // the ASan job must walk. Witness traces are materialised to force
+    // reconstruction after eviction.
+    const Fixture fixture = gap_fixture();
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    ReachabilityOptions seq_options;
+    seq_options.stop_at_first_match = false;
+    ReachabilityExplorer seq(compiled, seq_options);
+    const auto reference = seq.run_query(bundle.query);
+
+    for (const bool stealing : {true, false}) {
+        for (const bool cas :
+             {true, false}) {
+            ReachabilityOptions options;
+            options.stop_at_first_match = false;
+            options.threads = 4;
+            options.work_stealing = stealing;
+            options.witness_tree =
+                cas ? ReachabilityOptions::WitnessTree::kCanonicalCas
+                    : ReachabilityOptions::WitnessTree::kResweep;
+            ParallelReachabilityExplorer par(compiled, options);
+            const auto result = par.run_query(bundle.query);
+            expect_equivalent(fixture.net, reference, result,
+                              std::string("gap eviction ") +
+                                  (stealing ? "steal" : "cursor") +
+                                  (cas ? " cas" : " resweep"));
+        }
+    }
+}
+
+// --------------------------------------------------------- witness tree --
+
+TEST(WitnessTree, CasAndResweepProduceIdenticalCanonicalTraces) {
+    // The canonical-min CAS maintained during exploration and the serial
+    // re-sweep must build the SAME deterministic tree: identical witness
+    // markings and identical traces, with the cache on and off.
+    const Fixture fixture = gap_fixture();
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    std::optional<MultiResult> baseline;
+    for (const bool cache : {true, false}) {
+        for (const bool cas : {true, false}) {
+            ReachabilityOptions options;
+            options.stop_at_first_match = false;
+            options.threads = 4;
+            options.frontier_enabled_cache = cache;
+            options.witness_tree =
+                cas ? ReachabilityOptions::WitnessTree::kCanonicalCas
+                    : ReachabilityOptions::WitnessTree::kResweep;
+            ParallelReachabilityExplorer par(compiled, options);
+            auto result = par.run_query(bundle.query);
+            if (!baseline) {
+                ASSERT_TRUE(result.goals[0].found());
+                baseline = std::move(result);
+                continue;
+            }
+            expect_identical(*baseline, result,
+                             std::string("witness tree ") +
+                                 (cas ? "cas" : "resweep") +
+                                 (cache ? " cache" : " nocache"));
+        }
+    }
+}
+
 // ------------------------------------------- concurrent interning table --
 
 TEST(ConcurrentMarkingStore, InternsDedupesAndEnforcesCapacity) {
@@ -463,6 +813,66 @@ TEST(ConcurrentMarkingStore, ConcurrentInterningIsConsistent) {
     }
 }
 
+// ------------------------------------------------- work-stealing deque --
+
+TEST(StealDeque, OwnerAndThievesClaimEveryTaskExactlyOnce) {
+    // Steal-heavy hammering: one owner pops while 7 thieves strip the
+    // deque from the other end; every task must be claimed exactly once.
+    // This is the stress profile of a narrow BFS layer, and the TSan CI
+    // job runs it to keep the deque's memory ordering honest.
+    constexpr std::size_t kTasks = 100000;
+    constexpr std::size_t kThieves = 7;
+    util::StealDeque deque;
+    deque.reset_and_reserve(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) deque.push(i);
+
+    std::vector<std::atomic<std::uint32_t>> claimed(kTasks);
+    std::atomic<bool> go{false};
+    std::atomic<std::size_t> total{0};
+    auto thief = [&deque, &claimed, &go, &total]() {
+        while (!go.load(std::memory_order_acquire)) {}
+        std::uint64_t task;
+        std::size_t mine = 0;
+        for (;;) {
+            if (deque.steal(task)) {
+                claimed[task].fetch_add(1, std::memory_order_relaxed);
+                ++mine;
+            } else if (deque.empty()) {
+                break;
+            }
+        }
+        total.fetch_add(mine, std::memory_order_relaxed);
+    };
+    std::vector<std::thread> pool;
+    for (std::size_t k = 0; k < kThieves; ++k) pool.emplace_back(thief);
+    go.store(true, std::memory_order_release);
+    {
+        std::uint64_t task;
+        std::size_t mine = 0;
+        while (deque.pop(task)) {
+            claimed[task].fetch_add(1, std::memory_order_relaxed);
+            ++mine;
+        }
+        // The owner's pop can fail while thieves still drain; sweep like
+        // the engine does until the deque reads empty.
+        for (;;) {
+            if (deque.steal(task)) {
+                claimed[task].fetch_add(1, std::memory_order_relaxed);
+                ++mine;
+            } else if (deque.empty()) {
+                break;
+            }
+        }
+        total.fetch_add(mine, std::memory_order_relaxed);
+    }
+    for (auto& t : pool) t.join();
+
+    EXPECT_EQ(total.load(), kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        ASSERT_EQ(claimed[i].load(), 1u) << "task " << i;
+    }
+}
+
 // ------------------------------------------------------ facade adoption --
 
 TEST(ParallelVerify, VerifierThreadsKnobKeepsReportsEquivalent) {
@@ -514,6 +924,33 @@ TEST(ParallelVerify, DesignAdoptsThreadsThroughOptions) {
         EXPECT_EQ(report.findings[i].states_explored,
                   seq_report.findings[i].states_explored);
     }
+}
+
+TEST(ParallelVerify, MemoryStatsSurfaceThroughVerifierAndDesign) {
+    // memory_stats() rides the facades: zeros before any exploration,
+    // populated by verify(), and the enabled-set cache knob reaches the
+    // engine through VerifyOptions with verdicts unchanged.
+    flow::DesignOptions options;
+    options.verify.threads = 2;
+    flow::Design design(ope::build_reconfigurable_ope_dfs(3, 3), options);
+    EXPECT_EQ(design.memory_stats().records, 0u);
+    const auto report = design.verify();
+    ASSERT_TRUE(report.clean());
+    const auto& stats = design.memory_stats();
+    EXPECT_EQ(stats.records, report.findings[0].states_explored);
+    EXPECT_GT(stats.record_bytes, 0u);
+    EXPECT_GT(stats.resident_bytes, stats.record_bytes);
+    EXPECT_GE(stats.peak_bytes, stats.resident_bytes);
+
+    flow::DesignOptions fat_options;
+    fat_options.verify.threads = 2;
+    fat_options.verify.frontier_enabled_cache = false;
+    flow::Design fat(ope::build_reconfigurable_ope_dfs(3, 3), fat_options);
+    const auto fat_report = fat.verify();
+    ASSERT_TRUE(fat_report.clean());
+    EXPECT_EQ(fat_report.findings[0].states_explored,
+              report.findings[0].states_explored);
+    EXPECT_GT(fat.memory_stats().record_bytes, stats.record_bytes);
 }
 
 }  // namespace
