@@ -78,6 +78,9 @@ def main():
                         help="compare raw times, skip calibration")
     parser.add_argument("--parallel",
                         help="bench_parallel JSON summary to gate")
+    parser.add_argument("--sweep",
+                        help="bench_sweep JSON summary to report "
+                             "(advisory only, never gated)")
     parser.add_argument("--min-parallel-speedup", type=float,
                         default=PARALLEL_MIN_SPEEDUP,
                         help="multi-thread scaling floor (gated only on "
@@ -152,6 +155,26 @@ def main():
                 f"parallel speedup {speedup:.2f}x below the "
                 f"{args.min_parallel_speedup:.2f}x floor on a "
                 f"{threads}-thread runner")
+
+    if args.sweep:
+        # Advisory only: dedup ratio and cache hit rate are facts about
+        # the sweep workload, not regressions — surface them in the job
+        # log (and as warnings if they look off) without gating.
+        with open(args.sweep) as f:
+            sweep = json.load(f)
+        dedup = sweep.get("dedup_ratio", 0.0)
+        hit_rate = sweep.get("cache_hit_rate", 0.0)
+        print(f"sweep service (advisory): {sweep.get('grid_points')} grid "
+              f"points, {sweep.get('distinct_models')} distinct models "
+              f"(dedup {dedup:.2f}x), cache hit rate {hit_rate:.1%}, "
+              f"{sweep.get('states_per_second', 0.0):.0f} states/s in "
+              f"{sweep.get('sweep_seconds', 0.0):.2f}s")
+        if not sweep.get("ok", False):
+            warnings.append("bench_sweep reported a problem (see its "
+                            "own job step for the gate)")
+        elif hit_rate <= 0.0:
+            warnings.append("sweep cache hit rate is zero — dedup "
+                            "before compile is not engaging")
 
     for w in warnings:
         print(f"::warning::bench: {w}")

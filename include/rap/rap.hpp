@@ -31,6 +31,7 @@
 #include "rap/petri/predicate.hpp"
 #include "rap/petri/reachability.hpp"
 #include "rap/verify/artifacts.hpp"
+#include "rap/verify/cache.hpp"
 #include "rap/verify/spec.hpp"
 #include "rap/verify/verifier.hpp"
 
@@ -52,5 +53,7 @@
 #include "rap/perf/throughput.hpp"
 #include "rap/tech/voltage.hpp"
 
-// the session facade
+// the session facade + batch sweep service
 #include "rap/flow/design.hpp"
+#include "rap/flow/metrics.hpp"
+#include "rap/flow/sweep.hpp"

@@ -8,11 +8,58 @@
 
 namespace rap::flow {
 
+void validate_options(const DesignOptions& options) {
+    if (options.verify.max_states == 0) {
+        throw std::invalid_argument(
+            "flow::DesignOptions: verify.max_states must be positive — a "
+            "zero state cap would truncate every exploration at the "
+            "initial marking and make all verdicts inconclusive");
+    }
+    const tech::ProcessParams& p = options.process;
+    if (!(p.v_freeze >= 0.0)) {
+        throw std::invalid_argument(
+            "flow::DesignOptions: process.v_freeze must be >= 0 V");
+    }
+    if (!(p.v_nominal > p.v_freeze)) {
+        throw std::invalid_argument(
+            "flow::DesignOptions: process.v_nominal must exceed "
+            "process.v_freeze — at or below the freeze voltage the model "
+            "makes no forward progress, so a nominal supply there means "
+            "every timed simulation hangs");
+    }
+    if (!(p.v_max >= p.v_nominal)) {
+        throw std::invalid_argument(
+            "flow::DesignOptions: process.v_max must be >= "
+            "process.v_nominal (the absolute maximum rating cannot sit "
+            "below the nominal supply)");
+    }
+    if (!(p.alpha > 0.0)) {
+        throw std::invalid_argument(
+            "flow::DesignOptions: process.alpha (the alpha-power-law "
+            "exponent) must be positive");
+    }
+}
+
 Design::Design(dfs::Graph graph, DesignOptions options)
-    : options_(std::move(options)), graph_(std::move(graph)) {}
+    : options_(std::move(options)), graph_(std::move(graph)) {
+    validate_options(options_);
+}
 
 Design::Design(pipeline::Pipeline pipeline, DesignOptions options)
-    : options_(std::move(options)), pipeline_(std::move(pipeline)) {}
+    : options_(std::move(options)), pipeline_(std::move(pipeline)) {
+    validate_options(options_);
+}
+
+std::unique_ptr<Design> make_design(dfs::Graph graph,
+                                    DesignOptions options) {
+    return std::make_unique<Design>(std::move(graph), std::move(options));
+}
+
+std::unique_ptr<Design> make_design(pipeline::Pipeline pipeline,
+                                    DesignOptions options) {
+    return std::make_unique<Design>(std::move(pipeline),
+                                    std::move(options));
+}
 
 const dfs::Graph& Design::graph() const noexcept {
     return pipeline_ ? pipeline_->graph : *graph_;
@@ -124,15 +171,24 @@ const asim::TimingMap& Design::timing() const {
 // -- verification --------------------------------------------------------
 
 verify::Report Design::verify() const {
-    return verifier().verify_all();
+    verify::Report report = verifier().verify_all();
+    last_memory_ = verifier().memory_stats();
+    return report;
 }
 
 verify::Report Design::verify(const verify::Spec& spec) const {
-    return verifier().verify(spec);
+    verify::Report report = verifier().verify(spec);
+    last_memory_ = verifier().memory_stats();
+    return report;
 }
 
-const petri::MemoryStats& Design::memory_stats() const {
-    return verifier().memory_stats();
+std::optional<petri::MemoryStats> Design::memory_stats() const {
+    // Explorations driven directly through verifier() count too; pull
+    // the freshest footprint before answering.
+    if (verifier_ && verifier_->has_memory_stats()) {
+        last_memory_ = verifier_->memory_stats();
+    }
+    return last_memory_;
 }
 
 // -- simulation ----------------------------------------------------------

@@ -22,12 +22,23 @@
 namespace rap::flow {
 
 /// Session-wide knobs, fixed at construction: they parameterise how the
-/// derived artifacts are built, not what the model is.
+/// derived artifacts are built, not what the model is. Validated by the
+/// Design constructor (and therefore by make_design and flow::Sweep):
+/// inconsistent options — a zero state cap, a process model whose
+/// nominal voltage does not clear the freeze voltage, a non-positive
+/// alpha exponent — throw std::invalid_argument with a message naming
+/// the offending field, instead of surfacing as puzzling downstream
+/// failures mid-verification or mid-simulation.
 struct DesignOptions {
     verify::VerifyOptions verify{};          ///< state-space cap
     netlist::Library::Options library{};     ///< NCL-D mapping options
     tech::ProcessParams process{};           ///< voltage/leakage model
 };
+
+/// Throws std::invalid_argument if `options` is inconsistent (see
+/// DesignOptions). Called by every Design constructor; exposed so batch
+/// drivers can reject a bad configuration before spinning up workers.
+void validate_options(const DesignOptions& options);
 
 /// One design session over one DFS model — the paper's flow (dataflow
 /// structure → Petri-net verification → direct mapping → silicon) as a
@@ -49,9 +60,22 @@ struct DesignOptions {
 /// pn_builds() / netlist_builds() — so tests and benches can assert the
 /// caching contract.
 ///
-/// The Design must outlive every reference it hands out; it is pinned in
-/// place (no copies, no moves) because cached artifacts point into the
-/// owned graph.
+/// ## Pinning contract (the one place it is documented)
+///
+/// A Design is pinned in place: no copies, no moves. Cached artifacts
+/// (dynamics, verifier, netlist, timing) point into the owned graph, and
+/// every reference the Design hands out stays valid only while the
+/// Design itself stays at its address and alive. Consequences:
+///
+/// - Anything that needs to *store or move* sessions — containers,
+///   `flow::Sweep` workers, hand-rolled pools — holds them through
+///   `flow::make_design(...)`, which returns std::unique_ptr<Design>:
+///   the pointer moves freely while the session stays pinned.
+/// - References obtained from a Design (translation(), netlist(), ...)
+///   must not outlive it; copy the data out if it must survive.
+///
+/// Constructors validate their DesignOptions (see validate_options) and
+/// throw std::invalid_argument with a field-naming message on bad input.
 class Design {
 public:
     explicit Design(dfs::Graph graph, DesignOptions options = {});
@@ -118,9 +142,10 @@ public:
 
     /// Memory footprint of the most recent verification exploration
     /// (records, resident bytes, peak) — the capacity-planning surface
-    /// for the deep OPE configurations. All zeros until a verify() has
-    /// run in this session.
-    const petri::MemoryStats& memory_stats() const;
+    /// for the deep OPE configurations. std::nullopt until a verify()
+    /// has run in this session (model mutations do not reset it; the
+    /// last completed exploration's footprint stays readable).
+    std::optional<petri::MemoryStats> memory_stats() const;
 
     // -- simulation -------------------------------------------------------
 
@@ -174,6 +199,18 @@ private:
     mutable std::size_t pn_builds_ = 0;
     mutable std::size_t netlist_builds_ = 0;
     std::size_t revision_ = 0;
+    /// Footprint of the last completed exploration, surviving verifier
+    /// invalidation so memory_stats() keeps answering after reconfigure.
+    mutable std::optional<petri::MemoryStats> last_memory_;
 };
+
+/// Heap-pinned session factory: the way to own a Design that has to be
+/// stored, moved or pooled (Design itself is non-movable — see the
+/// pinning contract above). flow::Sweep holds its per-configuration
+/// sessions through exactly this.
+std::unique_ptr<Design> make_design(dfs::Graph graph,
+                                    DesignOptions options = {});
+std::unique_ptr<Design> make_design(pipeline::Pipeline pipeline,
+                                    DesignOptions options = {});
 
 }  // namespace rap::flow

@@ -1,0 +1,108 @@
+#include "flow/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rap::flow {
+
+namespace {
+
+/// Prometheus numbers: integers render without an exponent or trailing
+/// zeros, everything else through %.17g (round-trippable doubles).
+std::string render_value(double value) {
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string escape_label(const std::string& value) {
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+Metrics::Sample& Metrics::sample(std::string_view name,
+                                 std::string_view help, Type type,
+                                 const Labels& labels) {
+    for (Family& family : families_) {
+        if (family.name != name) continue;
+        for (Sample& s : family.samples) {
+            if (s.labels == labels) return s;
+        }
+        family.samples.push_back(Sample{labels, 0.0});
+        return family.samples.back();
+    }
+    families_.push_back(
+        Family{std::string(name), std::string(help), type, {}});
+    families_.back().samples.push_back(Sample{labels, 0.0});
+    return families_.back().samples.back();
+}
+
+void Metrics::set(std::string_view name, std::string_view help, Type type,
+                  double value, Labels labels) {
+    sample(name, help, type, labels).value = value;
+}
+
+void Metrics::add(std::string_view name, std::string_view help, Type type,
+                  double delta, Labels labels) {
+    sample(name, help, type, labels).value += delta;
+}
+
+double Metrics::value(std::string_view name, const Labels& labels,
+                      double fallback) const {
+    for (const Family& family : families_) {
+        if (family.name != name) continue;
+        for (const Sample& s : family.samples) {
+            if (s.labels == labels) return s.value;
+        }
+    }
+    return fallback;
+}
+
+namespace metrics {
+
+std::string to_prometheus(const Metrics& registry) {
+    std::string out;
+    for (const Metrics::Family& family : registry.families()) {
+        out += "# HELP " + family.name + " " + family.help + "\n";
+        out += "# TYPE " + family.name + " " +
+               (family.type == Metrics::Type::kCounter ? "counter"
+                                                       : "gauge") +
+               "\n";
+        for (const Metrics::Sample& s : family.samples) {
+            out += family.name;
+            if (!s.labels.empty()) {
+                out += '{';
+                bool first = true;
+                for (const auto& [key, value] : s.labels) {
+                    if (!first) out += ',';
+                    first = false;
+                    out += key + "=\"" + escape_label(value) + "\"";
+                }
+                out += '}';
+            }
+            out += ' ' + render_value(s.value) + '\n';
+        }
+    }
+    return out;
+}
+
+}  // namespace metrics
+
+}  // namespace rap::flow

@@ -1,0 +1,500 @@
+#include "flow/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "ope/dfs_models.hpp"
+#include "verify/cache.hpp"
+
+namespace rap::flow {
+
+std::string_view to_string(SweepStatus status) {
+    switch (status) {
+        case SweepStatus::kOk: return "ok";
+        case SweepStatus::kInvalid: return "invalid";
+        case SweepStatus::kTimedOut: return "timed-out";
+        case SweepStatus::kCancelled: return "cancelled";
+    }
+    return "?";
+}
+
+namespace detail {
+
+/// Everything a running sweep shares between the launching thread, the
+/// worker pool and the Handle. Lifetime: shared_ptr held by the Handle
+/// and (via the thread objects living inside it) the workers.
+struct SweepState {
+    // -- immutable after launch -----------------------------------------
+    Sweep::Factory factory;
+    DesignOptions base;
+    verify::Spec spec;
+    std::vector<SweepPoint> grid;
+    std::vector<tech::VoltageSchedule> schedules;
+    double timeout_s = 0.0;
+    Sweep::ResultCallback callback;
+    std::size_t max_in_flight = 1;
+    /// Cache counters at launch, so the metrics snapshot can attribute
+    /// hit-rate to this sweep rather than the whole process lifetime.
+    verify::CacheStats cache_before;
+
+    // -- work distribution ----------------------------------------------
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::vector<std::thread> pool;
+
+    // -- mutable results + aggregates (guarded by mutex) ------------------
+    std::mutex mutex;
+    std::condition_variable gate;  ///< max_in_flight admission
+    std::size_t in_flight = 0;
+    std::vector<SweepResult> results;  ///< slot per grid point
+    std::size_t done = 0;
+    std::unordered_set<std::string> distinct;  ///< model fingerprints
+    std::size_t states_total = 0;
+    double verify_seconds_total = 0.0;
+    std::size_t peak_resident_bytes = 0;
+    bool joined = false;
+};
+
+namespace {
+
+/// Runs one grid point start to finish. Never throws: every failure mode
+/// maps to a row status.
+SweepResult process_point(SweepState& state, const SweepPoint& point) {
+    SweepResult row;
+    row.point = point;
+
+    // The schedule axis' analytic figure of merit is defined even for
+    // configurations the factory rejects.
+    if (point.schedule < state.schedules.size()) {
+        row.schedule_finish_s =
+            state.schedules[point.schedule].finish_time(
+                tech::VoltageModel(state.base.process), 0.0, 1.0);
+    }
+
+    if (state.cancelled.load(std::memory_order_relaxed)) {
+        row.status = SweepStatus::kCancelled;
+        return row;
+    }
+
+    std::optional<pipeline::Pipeline> model;
+    try {
+        model.emplace(state.factory(point.stages, point.depth));
+    } catch (const std::exception& e) {
+        row.status = SweepStatus::kInvalid;
+        row.error = e.what();
+        return row;
+    }
+
+    // Dedup bookkeeping + pin: the cache coalesces concurrent builds of
+    // the same content, and the pin keeps LRU eviction off this model
+    // until the session below is done with it.
+    const std::string key = verify::model_fingerprint(model->graph);
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        state.distinct.insert(key);
+    }
+
+    const auto deadline =
+        state.timeout_s > 0.0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(state.timeout_s))
+            : std::chrono::steady_clock::time_point::max();
+
+    DesignOptions options = state.base;
+    if (options.verify.threads == 0) {
+        // Grid-level parallelism owns the cores; explicit base settings
+        // are respected.
+        options.verify.threads = 1;
+    }
+    const std::function<bool()> user_stop = options.verify.stop;
+    options.verify.stop = [&state, deadline, user_stop] {
+        return state.cancelled.load(std::memory_order_relaxed) ||
+               std::chrono::steady_clock::now() >= deadline ||
+               (user_stop && user_stop());
+    };
+
+    try {
+        const auto pin =
+            verify::ArtifactCache::process_cache().get_pinned(model->graph);
+        const auto design = make_design(std::move(*model), options);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        row.report = design->verify(state.spec);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        row.verify_seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+        row.clean = row.report.clean();
+        for (const auto& finding : row.report.findings) {
+            row.states = std::max(row.states, finding.states_explored);
+        }
+        row.memory = design->memory_stats();
+
+        bool truncated_by_stop = false;
+        for (const auto& finding : row.report.findings) {
+            truncated_by_stop |= finding.truncated;
+        }
+        if (state.cancelled.load(std::memory_order_relaxed)) {
+            row.status = SweepStatus::kCancelled;
+        } else if (truncated_by_stop && t1 >= deadline) {
+            row.status = SweepStatus::kTimedOut;
+        } else {
+            row.status = SweepStatus::kOk;
+        }
+    } catch (const std::exception& e) {
+        row.status = SweepStatus::kInvalid;
+        row.error = e.what();
+    }
+    return row;
+}
+
+void worker_loop(const std::shared_ptr<SweepState>& state) {
+    for (;;) {
+        const std::size_t index =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= state->grid.size()) return;
+
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            state->gate.wait(lock, [&] {
+                return state->in_flight < state->max_in_flight ||
+                       state->cancelled.load(std::memory_order_relaxed);
+            });
+            ++state->in_flight;
+        }
+
+        SweepResult row = process_point(*state, state->grid[index]);
+
+        {
+            const std::lock_guard<std::mutex> lock(state->mutex);
+            --state->in_flight;
+            state->states_total += row.states;
+            state->verify_seconds_total += row.verify_seconds;
+            if (row.memory) {
+                state->peak_resident_bytes = std::max(
+                    state->peak_resident_bytes, row.memory->peak_bytes);
+            }
+            state->results[index] = std::move(row);
+            ++state->done;
+            // cancel() flips the flag under this same mutex, so once it
+            // returns no further callback can be entered.
+            if (!state->cancelled.load(std::memory_order_relaxed) &&
+                state->callback) {
+                state->callback(state->results[index]);
+            }
+        }
+        state->gate.notify_one();
+    }
+}
+
+void join_pool(SweepState& state) {
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.joined) return;
+        state.joined = true;
+    }
+    for (std::thread& worker : state.pool) {
+        if (worker.joinable()) worker.join();
+    }
+}
+
+Metrics build_metrics(SweepState& state) {
+    Metrics m;
+    using Type = Metrics::Type;
+
+    std::size_t done = 0;
+    std::size_t in_flight = 0;
+    std::size_t distinct = 0;
+    std::size_t states_total = 0;
+    double verify_seconds = 0.0;
+    std::size_t peak = 0;
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        done = state.done;
+        in_flight = state.in_flight;
+        distinct = state.distinct.size();
+        states_total = state.states_total;
+        verify_seconds = state.verify_seconds_total;
+        peak = state.peak_resident_bytes;
+    }
+    const std::size_t total = state.grid.size();
+    const std::size_t queued = total - std::min(total, done + in_flight);
+
+    m.set("rap_sweep_configs_total",
+          "Grid points in the sweep", Type::kGauge,
+          static_cast<double>(total));
+    m.set("rap_sweep_configs_done",
+          "Grid points completed so far", Type::kGauge,
+          static_cast<double>(done));
+    m.set("rap_sweep_queue_depth",
+          "Grid points neither done nor running", Type::kGauge,
+          static_cast<double>(queued));
+    m.set("rap_sweep_in_flight",
+          "Configurations holding exploration state right now",
+          Type::kGauge, static_cast<double>(in_flight));
+    m.set("rap_sweep_cancelled",
+          "1 once Handle::cancel() was called", Type::kGauge,
+          state.cancelled.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+    m.set("rap_sweep_distinct_models",
+          "Distinct model contents seen (the dedup denominator)",
+          Type::kGauge, static_cast<double>(distinct));
+    m.set("rap_sweep_states_total",
+          "States explored across all completed configurations",
+          Type::kCounter, static_cast<double>(states_total));
+    m.set("rap_sweep_verify_seconds_total",
+          "Wall seconds spent verifying across all configurations",
+          Type::kCounter, verify_seconds);
+    m.set("rap_sweep_states_per_second",
+          "Aggregate verification throughput", Type::kGauge,
+          verify_seconds > 0.0
+              ? static_cast<double>(states_total) / verify_seconds
+              : 0.0);
+    m.set("rap_sweep_peak_resident_bytes",
+          "Largest single-exploration resident footprint seen",
+          Type::kGauge, static_cast<double>(peak));
+
+    // Process artifact-cache counters, as deltas since launch so the
+    // exposition describes THIS sweep's traffic.
+    const verify::CacheStats now = verify::cache_stats();
+    const verify::CacheStats& before = state.cache_before;
+    const auto delta = [](std::size_t a, std::size_t b) {
+        return static_cast<double>(a - std::min(a, b));
+    };
+    char shard_label[16];
+    for (std::size_t i = 0; i < now.shards.size(); ++i) {
+        std::snprintf(shard_label, sizeof(shard_label), "%zu", i);
+        const Metrics::Labels labels{{"shard", shard_label}};
+        const std::size_t before_hits =
+            i < before.shards.size() ? before.shards[i].hits : 0;
+        const std::size_t before_misses =
+            i < before.shards.size() ? before.shards[i].misses : 0;
+        const std::size_t before_evictions =
+            i < before.shards.size() ? before.shards[i].evictions : 0;
+        m.set("rap_cache_hits_total",
+              "Artifact cache hits since the sweep launched, per shard",
+              Type::kCounter, delta(now.shards[i].hits, before_hits),
+              labels);
+        m.set("rap_cache_misses_total",
+              "Artifact cache misses (= builds) since the sweep "
+              "launched, per shard",
+              Type::kCounter, delta(now.shards[i].misses, before_misses),
+              labels);
+        m.set("rap_cache_evictions_total",
+              "Artifact cache LRU evictions since the sweep launched, "
+              "per shard",
+              Type::kCounter,
+              delta(now.shards[i].evictions, before_evictions), labels);
+    }
+    const double hits = delta(now.hits, before.hits);
+    const double misses = delta(now.misses, before.misses);
+    m.set("rap_cache_hit_rate",
+          "Hits / lookups of the artifact cache since the sweep launched",
+          Type::kGauge,
+          hits + misses > 0.0 ? hits / (hits + misses) : 0.0);
+    m.set("rap_cache_entries", "Artifacts resident in the cache",
+          Type::kGauge, static_cast<double>(now.entries));
+    m.set("rap_cache_resident_bytes",
+          "Approximate bytes held by cached artifacts", Type::kGauge,
+          static_cast<double>(now.bytes));
+    m.set("rap_cache_capacity_bytes", "Artifact cache byte capacity",
+          Type::kGauge, static_cast<double>(now.capacity_bytes));
+    m.set("rap_cache_pinned", "Artifacts pinned by in-flight sessions",
+          Type::kGauge, static_cast<double>(now.pinned));
+    return m;
+}
+
+}  // namespace
+}  // namespace detail
+
+// -- Sweep (builder) -----------------------------------------------------
+
+Sweep::Sweep(Factory factory, DesignOptions base)
+    : factory_(std::move(factory)),
+      base_(std::move(base)),
+      spec_(verify::Spec::standard()) {
+    if (!factory_) {
+        throw std::invalid_argument(
+            "flow::Sweep: the model factory must be callable");
+    }
+    validate_options(base_);
+    schedules_.push_back(
+        tech::VoltageSchedule::constant(base_.process.v_nominal));
+}
+
+Sweep Sweep::ope(DesignOptions base) {
+    return Sweep(
+        [](int stages, int depth) {
+            return ope::build_reconfigurable_ope_dfs(stages, depth);
+        },
+        std::move(base));
+}
+
+Sweep& Sweep::depths(int lo, int hi) {
+    depths_.clear();
+    for (int d = lo; d <= hi; ++d) depths_.push_back(d);
+    if (depths_.empty()) {
+        throw std::invalid_argument("flow::Sweep: empty depth range");
+    }
+    return *this;
+}
+
+Sweep& Sweep::depths(std::vector<int> values) {
+    if (values.empty()) {
+        throw std::invalid_argument("flow::Sweep: empty depth axis");
+    }
+    depths_ = std::move(values);
+    return *this;
+}
+
+Sweep& Sweep::stages(std::vector<int> values) {
+    if (values.empty()) {
+        throw std::invalid_argument("flow::Sweep: empty stage axis");
+    }
+    stages_ = std::move(values);
+    return *this;
+}
+
+Sweep& Sweep::schedules(std::vector<tech::VoltageSchedule> values) {
+    if (values.empty()) {
+        throw std::invalid_argument("flow::Sweep: empty schedule axis");
+    }
+    schedules_ = std::move(values);
+    return *this;
+}
+
+Sweep& Sweep::spec(verify::Spec value) {
+    spec_ = std::move(value);
+    return *this;
+}
+
+Sweep& Sweep::workers(std::size_t count) {
+    workers_ = count;
+    return *this;
+}
+
+Sweep& Sweep::max_in_flight(std::size_t count) {
+    max_in_flight_ = count;
+    return *this;
+}
+
+Sweep& Sweep::per_config_timeout(double seconds) {
+    timeout_s_ = seconds;
+    return *this;
+}
+
+Sweep& Sweep::on_result(ResultCallback callback) {
+    callback_ = std::move(callback);
+    return *this;
+}
+
+std::vector<SweepPoint> Sweep::grid() const {
+    std::vector<SweepPoint> points;
+    points.reserve(stages_.size() * depths_.size() * schedules_.size());
+    char label[64];
+    for (const int stages : stages_) {
+        for (const int depth : depths_) {
+            for (std::size_t schedule = 0; schedule < schedules_.size();
+                 ++schedule) {
+                std::snprintf(label, sizeof(label), "s%d/d%d/v%zu",
+                              stages, depth, schedule);
+                points.push_back(SweepPoint{points.size(), stages, depth,
+                                            schedule, label});
+            }
+        }
+    }
+    return points;
+}
+
+// -- Sweep::Handle -------------------------------------------------------
+
+Sweep::Handle::Handle(std::shared_ptr<detail::SweepState> state)
+    : state_(std::move(state)) {}
+
+Sweep::Handle::~Handle() {
+    if (state_) detail::join_pool(*state_);
+}
+
+void Sweep::Handle::cancel() {
+    {
+        const std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+    state_->gate.notify_all();
+}
+
+bool Sweep::Handle::cancelled() const {
+    return state_->cancelled.load(std::memory_order_relaxed);
+}
+
+std::size_t Sweep::Handle::done() const {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done;
+}
+
+std::size_t Sweep::Handle::total() const { return state_->grid.size(); }
+
+std::size_t Sweep::Handle::distinct_models() const {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->distinct.size();
+}
+
+Metrics Sweep::Handle::metrics() const {
+    return detail::build_metrics(*state_);
+}
+
+std::vector<SweepResult> Sweep::Handle::wait() {
+    detail::join_pool(*state_);
+    return std::move(state_->results);
+}
+
+// -- launch --------------------------------------------------------------
+
+Sweep::Handle Sweep::launch() {
+    auto state = std::make_shared<detail::SweepState>();
+    state->factory = factory_;
+    state->base = base_;
+    state->spec = spec_;
+    state->grid = grid();
+    state->schedules = schedules_;
+    state->timeout_s = timeout_s_;
+    state->callback = callback_;
+    state->cache_before = verify::cache_stats();
+
+    std::size_t workers = workers_;
+    if (workers == 0) {
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers = std::max<std::size_t>(
+        1, std::min(workers, state->grid.size()));
+    state->max_in_flight =
+        max_in_flight_ > 0 ? std::min(max_in_flight_, workers) : workers;
+
+    state->results.resize(state->grid.size());
+    // Pre-fill every slot's point so cancelled-before-start rows still
+    // identify themselves; workers overwrite the slots they process.
+    for (std::size_t i = 0; i < state->grid.size(); ++i) {
+        state->results[i].point = state->grid[i];
+        state->results[i].status = SweepStatus::kCancelled;
+    }
+
+    state->pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        state->pool.emplace_back(
+            [state] { detail::worker_loop(state); });
+    }
+    return Handle(std::move(state));
+}
+
+std::vector<SweepResult> Sweep::run() { return launch().wait(); }
+
+}  // namespace rap::flow

@@ -248,6 +248,7 @@ public:
           workers_(workers),
           cas_tree_(options.witness_tree ==
                     ReachabilityOptions::WitnessTree::kCanonicalCas),
+          stop_(options.stop),
           diet_(options.frontier_enabled_cache),
           stealing_(options.work_stealing),
           wmeta_words_(cas_tree_ ? 2 : 0),
@@ -703,6 +704,15 @@ private:
 
         peak_bytes_ = std::max(peak_bytes_, resident_now());
 
+        if (stop_ && stop_()) {
+            // Cooperative stop (sweep cancellation / timeout), polled
+            // once per layer while every worker is parked: end the pass
+            // and report it truncated.
+            truncated_.store(true, std::memory_order_relaxed);
+            done_ = true;
+            return;
+        }
+
         if (abort_now_.load(std::memory_order_acquire) ||
             frontier_.empty() || (can_early_stop_ && unresolved_ == 0) ||
             (query_.persistence_stop_at_first && violations != 0)) {
@@ -824,6 +834,7 @@ private:
     const std::size_t twords_;
     const std::size_t workers_;
     const bool cas_tree_;   ///< canonical-CAS witness mode (vs re-sweep)
+    const std::function<bool()> stop_;  ///< cooperative stop hook
     const bool diet_;       ///< frontier-only enabled-set cache
     const bool stealing_;   ///< deque scheduling (vs atomic cursor)
     const std::size_t wmeta_words_;  ///< witness meta words per record

@@ -179,6 +179,12 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     // range [head, store_.size()).
     const std::size_t rpb = enabled_store.records_per_block();
     for (std::uint32_t head = 0; head < store_.size() && !stop; ++head) {
+        if (options_.stop && (head & 2047u) == 0 && options_.stop()) {
+            // Cooperative stop (sweep cancellation / timeout): report the
+            // pass as truncated — whatever was explored is inconclusive.
+            result.truncated = true;
+            break;
+        }
         if (options_.frontier_enabled_cache && head % rpb == 0) {
             // Frontier-only enabled-set cache: every state below `head`
             // is fully expanded and its bitset will never be read again,

@@ -62,6 +62,13 @@ struct ReachabilityOptions {
     /// per-worker Chase-Lev deques with stealing (default), or the PR-4
     /// shared atomic-cursor chunking (kept as the bench baseline).
     bool work_stealing = true;
+    /// Cooperative stop hook: polled every few thousand expansions by the
+    /// sequential engine and once per layer (in the barrier's serial
+    /// step) by the parallel one. Returning true ends the exploration
+    /// early with `truncated = true` — the mechanism behind flow::Sweep
+    /// cancellation and per-configuration timeouts. Must not throw.
+    /// Null (the default) never stops.
+    std::function<bool()> stop;
 };
 
 /// Memory footprint of one exploration pass, for capacity planning at the

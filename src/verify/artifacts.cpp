@@ -1,11 +1,9 @@
 #include "verify/artifacts.hpp"
 
 #include <atomic>
-#include <deque>
-#include <mutex>
-#include <string>
 
 #include "util/strings.hpp"
+#include "verify/cache.hpp"
 
 namespace rap::verify {
 
@@ -13,13 +11,9 @@ namespace {
 
 std::atomic<std::size_t> g_builds{0};
 
-/// Exact content fingerprint of a DFS model: every field the Fig. 3
-/// translation reads. Two graphs with equal fingerprints translate to
-/// identical nets, so the fingerprint is a sound cache key (full content,
-/// not a hash — no collision risk). Names are length-prefixed so that
-/// separator characters inside a node or graph name cannot forge another
-/// model's key.
-std::string fingerprint(const dfs::Graph& graph) {
+}  // namespace
+
+std::string model_fingerprint(const dfs::Graph& graph) {
     std::string key =
         util::format("%zu:", graph.name().size()) + graph.name();
     key += '\x1f';
@@ -41,52 +35,18 @@ std::string fingerprint(const dfs::Graph& graph) {
     return key;
 }
 
-struct CacheEntry {
-    std::string key;
-    std::shared_ptr<const CompiledModel> model;
-};
-
-/// Most-recently-used first; bounded so long-running sweeps over many
-/// configurations do not pin every compiled net in memory.
-constexpr std::size_t kCacheCapacity = 8;
-
-std::mutex g_cache_mutex;
-std::deque<CacheEntry>& cache() {
-    static std::deque<CacheEntry> entries;
-    return entries;
-}
-
-}  // namespace
-
 CompiledModel::CompiledModel(const dfs::Graph& graph)
     : translation_(dfs::to_petri(graph)), compiled_(translation_.net) {
+    // Rough per-place / per-transition footprint of the translation +
+    // CSR-compiled net; deterministic and monotone in model size, which
+    // is all the LRU byte accounting needs.
+    approx_bytes_ = 4096 + translation_.net.place_count() * 96 +
+                    translation_.net.transition_count() * 256;
     g_builds.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::shared_ptr<const CompiledModel> compile_model(const dfs::Graph& graph) {
-    const std::string key = fingerprint(graph);
-    {
-        const std::lock_guard<std::mutex> lock(g_cache_mutex);
-        auto& entries = cache();
-        for (auto it = entries.begin(); it != entries.end(); ++it) {
-            if (it->key == key) {
-                CacheEntry hit = *it;
-                entries.erase(it);
-                entries.push_front(hit);
-                return hit.model;
-            }
-        }
-    }
-    // Build outside the lock: translation + CompiledNet construction is
-    // the expensive part and must not serialise unrelated callers.
-    auto model = std::make_shared<const CompiledModel>(graph);
-    {
-        const std::lock_guard<std::mutex> lock(g_cache_mutex);
-        auto& entries = cache();
-        entries.push_front({key, model});
-        while (entries.size() > kCacheCapacity) entries.pop_back();
-    }
-    return model;
+    return ArtifactCache::process_cache().get(graph);
 }
 
 std::size_t artifact_builds() noexcept {

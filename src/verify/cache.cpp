@@ -1,0 +1,193 @@
+#include "verify/cache.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace rap::verify {
+
+ArtifactCache::ArtifactCache(Options options) : options_(options) {
+    if (options_.shard_count == 0) options_.shard_count = 1;
+    per_shard_capacity_ =
+        std::max<std::size_t>(options_.capacity_bytes / options_.shard_count,
+                              1);
+    shards_.reserve(options_.shard_count);
+    for (std::size_t i = 0; i < options_.shard_count; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+ArtifactCache::~ArtifactCache() = default;
+
+ArtifactCache::Pin::Pin(Pin&& other) noexcept
+    : cache_(std::exchange(other.cache_, nullptr)),
+      shard_(other.shard_),
+      key_(std::move(other.key_)),
+      model_(std::move(other.model_)) {}
+
+ArtifactCache::Pin& ArtifactCache::Pin::operator=(Pin&& other) noexcept {
+    if (this != &other) {
+        release();
+        cache_ = std::exchange(other.cache_, nullptr);
+        shard_ = other.shard_;
+        key_ = std::move(other.key_);
+        model_ = std::move(other.model_);
+    }
+    return *this;
+}
+
+void ArtifactCache::Pin::release() {
+    if (cache_ != nullptr) {
+        cache_->unpin(shard_, key_);
+        cache_ = nullptr;
+    }
+    model_.reset();
+}
+
+std::shared_ptr<const CompiledModel> ArtifactCache::lookup(
+    const dfs::Graph& graph, bool pin, std::string* key_out,
+    std::size_t* shard_out) {
+    std::string key = model_fingerprint(graph);
+    const std::size_t shard_index =
+        std::hash<std::string>{}(key) % shards_.size();
+    if (key_out != nullptr) *key_out = key;
+    if (shard_out != nullptr) *shard_out = shard_index;
+    Shard& shard = *shards_[shard_index];
+
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (;;) {
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            Entry& entry = *it->second;
+            if (entry.building) {
+                // Another caller is compiling this exact model; wait for
+                // its build instead of compiling again, then re-check
+                // from scratch (the build may have failed and vanished).
+                shard.ready.wait(lock);
+                continue;
+            }
+            ++shard.hits;
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            if (pin) ++entry.pin_count;
+            return entry.model;
+        }
+
+        // Miss: insert a building placeholder (pinned so concurrent
+        // eviction cannot drop it) and compile outside the lock.
+        ++shard.misses;
+        shard.lru.push_front(Entry{key, nullptr, 0, 1, true});
+        shard.index[key] = shard.lru.begin();
+        lock.unlock();
+
+        std::shared_ptr<const CompiledModel> model;
+        try {
+            model = std::make_shared<const CompiledModel>(graph);
+        } catch (...) {
+            lock.lock();
+            auto placed = shard.index.find(key);
+            shard.lru.erase(placed->second);
+            shard.index.erase(placed);
+            shard.ready.notify_all();  // waiters retry as builders
+            throw;
+        }
+
+        lock.lock();
+        auto placed = shard.index.find(key);
+        Entry& entry = *placed->second;
+        entry.model = model;
+        entry.bytes = model->approx_bytes();
+        entry.building = false;
+        entry.pin_count = pin ? 1 : 0;  // the build pin becomes the caller's
+        shard.bytes += entry.bytes;
+        shard.ready.notify_all();
+        evict_overflow(shard);
+        return model;
+    }
+}
+
+std::shared_ptr<const CompiledModel> ArtifactCache::get(
+    const dfs::Graph& graph) {
+    return lookup(graph, /*pin=*/false, nullptr, nullptr);
+}
+
+ArtifactCache::Pin ArtifactCache::get_pinned(const dfs::Graph& graph) {
+    std::string key;
+    std::size_t shard_index = 0;
+    auto model = lookup(graph, /*pin=*/true, &key, &shard_index);
+    return Pin(this, shard_index, std::move(key), std::move(model));
+}
+
+void ArtifactCache::unpin(std::size_t shard_index, const std::string& key) {
+    Shard& shard = *shards_[shard_index];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end() && it->second->pin_count > 0) {
+        --it->second->pin_count;
+        // Pinned entries may have pushed the shard past capacity;
+        // reclaim the overshoot as soon as the pin drops.
+        evict_overflow(shard);
+    }
+}
+
+void ArtifactCache::evict_overflow(Shard& shard) {
+    auto it = shard.lru.end();
+    while (shard.bytes > per_shard_capacity_ && it != shard.lru.begin()) {
+        --it;
+        if (it->pin_count > 0 || it->building) continue;
+        shard.bytes -= it->bytes;
+        ++shard.evictions;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+    }
+}
+
+CacheStats ArtifactCache::stats() const {
+    CacheStats stats;
+    stats.capacity_bytes = options_.capacity_bytes;
+    stats.shards.reserve(shards_.size());
+    for (const auto& shard_ptr : shards_) {
+        const Shard& shard = *shard_ptr;
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        CacheShardStats s;
+        s.hits = shard.hits;
+        s.misses = shard.misses;
+        s.evictions = shard.evictions;
+        s.entries = shard.index.size();
+        s.bytes = shard.bytes;
+        for (const Entry& entry : shard.lru) {
+            if (entry.pin_count > 0) ++s.pinned;
+        }
+        stats.hits += s.hits;
+        stats.misses += s.misses;
+        stats.evictions += s.evictions;
+        stats.entries += s.entries;
+        stats.bytes += s.bytes;
+        stats.pinned += s.pinned;
+        stats.shards.push_back(s);
+    }
+    return stats;
+}
+
+void ArtifactCache::clear() {
+    for (const auto& shard_ptr : shards_) {
+        Shard& shard = *shard_ptr;
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+            if (it->pin_count > 0 || it->building) {
+                ++it;
+                continue;
+            }
+            shard.bytes -= it->bytes;
+            shard.index.erase(it->key);
+            it = shard.lru.erase(it);
+        }
+    }
+}
+
+ArtifactCache& ArtifactCache::process_cache() {
+    static ArtifactCache cache;
+    return cache;
+}
+
+CacheStats cache_stats() { return ArtifactCache::process_cache().stats(); }
+
+}  // namespace rap::verify

@@ -52,6 +52,7 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     ropts.stop_at_first_match = stop_at_first_match;
     ropts.threads = options_.threads;
     ropts.frontier_enabled_cache = options_.frontier_enabled_cache;
+    ropts.stop = options_.stop;
     // The parallel explorer shards the BFS frontier over the shared
     // compiled artifact; at one (resolved) thread it delegates to the
     // sequential engine's exact code path.
@@ -285,12 +286,8 @@ Finding Verifier::check_custom(const petri::Predicate& predicate,
             .findings.front());
 }
 
-Report Verifier::verify_all(std::span<const CustomCheck> custom) const {
-    Spec spec = Spec::standard();
-    for (const CustomCheck& check : custom) {
-        spec.custom(check.description, *check.predicate);
-    }
-    return run_spec(spec, /*stop_at_first=*/false);
+Report Verifier::verify_all() const {
+    return run_spec(Spec::standard(), /*stop_at_first=*/false);
 }
 
 }  // namespace rap::verify

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
@@ -68,14 +68,26 @@ struct VerifyOptions {
     /// one pass hold the ~19M-state 4-stage OPE models. Verdicts and
     /// witnesses are bit-identical either way.
     bool frontier_enabled_cache = true;
+    /// Cooperative stop hook forwarded to the exploration engines
+    /// (petri::ReachabilityOptions::stop): polled cheaply mid-pass; when
+    /// it returns true the exploration ends early and every finding of
+    /// the pass reports `truncated = true` (inconclusive). flow::Sweep
+    /// drives cancellation and per-configuration timeouts through this.
+    /// Must not throw. Null (the default) never stops.
+    std::function<bool()> stop;
 };
 
-/// A user-supplied Reach-style predicate to evaluate alongside the
-/// standard checks inside verify_all's single exploration.
+/// A user-supplied Reach-style predicate for the standard checks'
+/// exploration.
 ///
-/// Legacy surface: the caller owns the predicate storage. Prefer
-/// verify::Spec, which owns its predicates and composes fluently.
-struct CustomCheck {
+/// Retired surface: verify::Spec is the only documented way to attach
+/// custom properties — it *owns* its predicates (no raw-pointer
+/// lifetime contract) and composes fluently. The struct remains only so
+/// stale call sites fail loudly with a deprecation warning instead of
+/// silently: no Verifier entry point accepts it anymore.
+struct [[deprecated(
+    "use verify::Spec::custom(description, predicate) — Spec owns its "
+    "predicates and runs in the same single exploration")]] CustomCheck {
     const petri::Predicate* predicate = nullptr;
     std::string description;
 };
@@ -149,16 +161,23 @@ public:
                          std::string description) const;
 
     /// Runs all standard checks — deadlock, control conflict, persistence
-    /// — plus any `custom` predicates, sharing ONE state-space
-    /// exploration across every property.
-    Report verify_all(std::span<const CustomCheck> custom = {}) const;
+    /// — in ONE state-space exploration; shorthand for
+    /// verify(Spec::standard()). Custom properties go through
+    /// verify(Spec) (the Spec owns its predicates).
+    Report verify_all() const;
 
     /// Number of state-space explorations this verifier has run so far.
     /// Lets callers (and tests) confirm verify_all's single-pass claim.
     std::size_t explorations_run() const noexcept { return explorations_; }
 
+    /// True once at least one exploration has run, i.e. memory_stats()
+    /// reports a real footprint rather than its all-zero initial state.
+    bool has_memory_stats() const noexcept { return explorations_ > 0; }
+
     /// Memory footprint of the most recent exploration (records, resident
-    /// and peak bytes) — all zeros until one has run.
+    /// and peak bytes) — all zeros until one has run; check
+    /// has_memory_stats() (flow::Design::memory_stats() wraps this in a
+    /// std::optional instead).
     const petri::MemoryStats& memory_stats() const noexcept {
         return last_memory_;
     }

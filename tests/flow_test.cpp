@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "dfs_helpers.hpp"
 #include "flow/design.hpp"
 #include "ope/dfs_models.hpp"
@@ -216,6 +222,53 @@ TEST(Design, ExportsComeFromTheSameCache) {
     EXPECT_NE(design.to_verilog().find("module"), std::string::npos);
     EXPECT_EQ(design.pn_builds(), 1u);
     EXPECT_EQ(design.netlist_builds(), 1u);
+}
+
+TEST(Design, MakeDesignReturnsMovableOwnerOfAPinnedSession) {
+    // Design itself is non-movable (artifacts point into the owned
+    // graph); make_design is the documented way to store or pool
+    // sessions — the unique_ptr moves, the session stays pinned.
+    std::unique_ptr<Design> design = make_design(make_fig1b().graph);
+    const Design* address = design.get();
+    const auto* translation = &design->translation();
+
+    std::vector<std::unique_ptr<Design>> pool;
+    pool.push_back(std::move(design));
+    EXPECT_EQ(pool.back().get(), address);
+    EXPECT_EQ(&pool.back()->translation(), translation);
+    EXPECT_TRUE(pool.back()->verify().clean());
+
+    // The pipeline overload keeps stage handles available.
+    auto piped = make_design(
+        pipeline::build_pipeline("mk", ope_style_stages(2, 2)));
+    EXPECT_TRUE(piped->has_pipeline());
+}
+
+TEST(Design, ConstructorRejectsInconsistentOptionsWithClearMessage) {
+    DesignOptions zero_cap;
+    zero_cap.verify.max_states = 0;
+    try {
+        const Design design(make_fig1b().graph, zero_cap);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("max_states"),
+                  std::string::npos);
+    }
+
+    DesignOptions frozen;
+    frozen.process.v_nominal = frozen.process.v_freeze;
+    try {
+        make_design(make_fig1b().graph, frozen);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("v_nominal"),
+                  std::string::npos);
+    }
+
+    DesignOptions bad_alpha;
+    bad_alpha.process.alpha = 0.0;
+    EXPECT_THROW(Design(make_fig1b().graph, bad_alpha),
+                 std::invalid_argument);
 }
 
 }  // namespace

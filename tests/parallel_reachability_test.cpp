@@ -927,16 +927,17 @@ TEST(ParallelVerify, DesignAdoptsThreadsThroughOptions) {
 }
 
 TEST(ParallelVerify, MemoryStatsSurfaceThroughVerifierAndDesign) {
-    // memory_stats() rides the facades: zeros before any exploration,
-    // populated by verify(), and the enabled-set cache knob reaches the
-    // engine through VerifyOptions with verdicts unchanged.
+    // memory_stats() rides the facades: std::nullopt before any
+    // exploration, populated by verify(), and the enabled-set cache knob
+    // reaches the engine through VerifyOptions with verdicts unchanged.
     flow::DesignOptions options;
     options.verify.threads = 2;
     flow::Design design(ope::build_reconfigurable_ope_dfs(3, 3), options);
-    EXPECT_EQ(design.memory_stats().records, 0u);
+    EXPECT_FALSE(design.memory_stats().has_value());
     const auto report = design.verify();
     ASSERT_TRUE(report.clean());
-    const auto& stats = design.memory_stats();
+    ASSERT_TRUE(design.memory_stats().has_value());
+    const auto stats = *design.memory_stats();
     EXPECT_EQ(stats.records, report.findings[0].states_explored);
     EXPECT_GT(stats.record_bytes, 0u);
     EXPECT_GT(stats.resident_bytes, stats.record_bytes);
@@ -950,7 +951,8 @@ TEST(ParallelVerify, MemoryStatsSurfaceThroughVerifierAndDesign) {
     ASSERT_TRUE(fat_report.clean());
     EXPECT_EQ(fat_report.findings[0].states_explored,
               report.findings[0].states_explored);
-    EXPECT_GT(fat.memory_stats().record_bytes, stats.record_bytes);
+    ASSERT_TRUE(fat.memory_stats().has_value());
+    EXPECT_GT(fat.memory_stats()->record_bytes, stats.record_bytes);
 }
 
 }  // namespace

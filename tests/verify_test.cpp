@@ -165,18 +165,18 @@ TEST(Verifier, VerifyAllRunsExactlyOneExploration) {
     }
 }
 
-TEST(Verifier, VerifyAllEvaluatesCustomPredicatesInSharedPass) {
+TEST(Verifier, SpecEvaluatesCustomPredicatesInSharedPass) {
     const auto m = make_fig1b();
     const Verifier verifier(m.graph);
     const auto& net = verifier.translation().net;
-    const auto reachable = petri::Predicate::marked(net, "Mf_out_1");
-    const auto unreachable = petri::Predicate::marked(net, "M_comp_1") &&
-                             petri::Predicate::marked(net, "Mf_filt_1");
-    const CustomCheck customs[] = {
-        {&reachable, "empty token at the output"},
-        {&unreachable, "destroyed token alongside comp data"},
-    };
-    const Report report = verifier.verify_all(customs);
+    auto reachable = petri::Predicate::marked(net, "Mf_out_1");
+    auto unreachable = petri::Predicate::marked(net, "M_comp_1") &&
+                       petri::Predicate::marked(net, "Mf_filt_1");
+    const Report report = verifier.verify(
+        verify::Spec::standard()
+            .custom("empty token at the output", std::move(reachable))
+            .custom("destroyed token alongside comp data",
+                    std::move(unreachable)));
     EXPECT_EQ(verifier.explorations_run(), 1u);
     ASSERT_EQ(report.findings.size(), 5u);
     EXPECT_TRUE(report.findings[3].violated);
@@ -206,9 +206,9 @@ TEST(Verifier, VerifyAllDeterministicAcrossRuns) {
     const Verifier verifier(m.graph);
     const auto& net = verifier.translation().net;
     const auto goal = petri::Predicate::marked(net, "Mf_out_1");
-    const CustomCheck customs[] = {{&goal, "witnessed"}};
-    const Report first = verifier.verify_all(customs);
-    const Report second = verifier.verify_all(customs);
+    const auto spec = verify::Spec::standard().custom("witnessed", goal);
+    const Report first = verifier.verify(spec);
+    const Report second = verifier.verify(spec);
     ASSERT_EQ(first.findings.size(), second.findings.size());
     for (std::size_t i = 0; i < first.findings.size(); ++i) {
         EXPECT_EQ(first.findings[i].violated, second.findings[i].violated);
