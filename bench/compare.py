@@ -33,6 +33,17 @@ import sys
 PARALLEL_MIN_SPEEDUP = 1.8
 PARALLEL_MIN_THREADS = 4
 
+# Partial-order reduction floor for bench_por's JSON summary (--por).
+# Unlike timings, these are state-count ratios of a deterministic
+# reduced graph — machine-independent, so the gate holds on any runner
+# (1-core containers included). Measured on the first gated runs:
+# ope_s3_d3 202x, wagging 87x, ope_gap 32x, ope_static_s2 4.7x. The
+# floor is deliberately conservative — it exists to catch the reduction
+# silently degrading to (near-)full exploration, not to pin today's
+# heuristic: at least one OPE fixture must keep a >= 2x state-count
+# reduction, and no fixture may explore more states reduced than full.
+POR_MIN_OPE_RATIO = 2.0
+
 # Benchmarks that gate the build: the reachability/verification engine
 # hot paths this repo's performance story rests on.
 GATED = (
@@ -78,6 +89,13 @@ def main():
                         help="compare raw times, skip calibration")
     parser.add_argument("--parallel",
                         help="bench_parallel JSON summary to gate")
+    parser.add_argument("--por",
+                        help="bench_por JSON summary to gate "
+                             "(reduction-ratio floor)")
+    parser.add_argument("--min-ope-ratio", type=float,
+                        default=POR_MIN_OPE_RATIO,
+                        help="state-count reduction floor on the best "
+                             "OPE fixture")
     parser.add_argument("--sweep",
                         help="bench_sweep JSON summary to report "
                              "(advisory only, never gated)")
@@ -155,6 +173,31 @@ def main():
                 f"parallel speedup {speedup:.2f}x below the "
                 f"{args.min_parallel_speedup:.2f}x floor on a "
                 f"{threads}-thread runner")
+
+    if args.por:
+        # Ratios only, never absolute state counts: the reduced graph is
+        # deterministic, so the ratios transfer across machines while
+        # counts would pin fixture sizes into CI.
+        with open(args.por) as f:
+            por = json.load(f)
+        best = por.get("best_ope_ratio", 0.0)
+        for fx in por.get("fixtures", []):
+            print(f"por {fx.get('name'):24} state ratio "
+                  f"{fx.get('state_ratio', 0.0):8.2f}x   work ratio "
+                  f"{fx.get('work_ratio', 0.0):6.2f}x")
+            if fx.get("state_ratio", 0.0) < 1.0 - 1e-9:
+                failures.append(
+                    f"por: {fx.get('name')} explored MORE states reduced "
+                    f"than full ({fx.get('state_ratio', 0.0):.2f}x)")
+        print(f"por best OPE reduction: {best:.2f}x "
+              f"(floor {args.min_ope_ratio:.2f}x)")
+        if not por.get("ok", False):
+            failures.append("bench_por reported a verdict mismatch "
+                            "between full and reduced passes")
+        if best < args.min_ope_ratio:
+            failures.append(
+                f"por: best OPE reduction {best:.2f}x fell below the "
+                f"{args.min_ope_ratio:.2f}x floor")
 
     if args.sweep:
         # Advisory only: dedup ratio and cache hit rate are facts about

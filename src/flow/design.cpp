@@ -173,12 +173,14 @@ const asim::TimingMap& Design::timing() const {
 verify::Report Design::verify() const {
     verify::Report report = verifier().verify_all();
     last_memory_ = verifier().memory_stats();
+    last_por_ = verifier().por_stats();
     return report;
 }
 
 verify::Report Design::verify(const verify::Spec& spec) const {
     verify::Report report = verifier().verify(spec);
     last_memory_ = verifier().memory_stats();
+    last_por_ = verifier().por_stats();
     return report;
 }
 
@@ -189,6 +191,13 @@ std::optional<petri::MemoryStats> Design::memory_stats() const {
         last_memory_ = verifier_->memory_stats();
     }
     return last_memory_;
+}
+
+std::optional<petri::PorStats> Design::por_stats() const {
+    if (verifier_ && verifier_->has_por_stats()) {
+        last_por_ = verifier_->por_stats();
+    }
+    return last_por_;
 }
 
 // -- simulation ----------------------------------------------------------

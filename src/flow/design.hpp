@@ -147,6 +147,13 @@ public:
     /// last completed exploration's footprint stays readable).
     std::optional<petri::MemoryStats> memory_stats() const;
 
+    /// Partial-order-reduction statistics of the most recent verification
+    /// exploration (inactive unless options.verify.por was on).
+    /// std::nullopt until a verify() has run in this session; like
+    /// memory_stats(), the last completed exploration's numbers stay
+    /// readable across model mutations.
+    std::optional<petri::PorStats> por_stats() const;
+
     // -- simulation -------------------------------------------------------
 
     dfs::State initial_state() const;
@@ -202,6 +209,8 @@ private:
     /// Footprint of the last completed exploration, surviving verifier
     /// invalidation so memory_stats() keeps answering after reconfigure.
     mutable std::optional<petri::MemoryStats> last_memory_;
+    /// Same survival contract for the reduction statistics.
+    mutable std::optional<petri::PorStats> last_por_;
 };
 
 /// Heap-pinned session factory: the way to own a Design that has to be

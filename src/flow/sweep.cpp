@@ -60,6 +60,9 @@ struct SweepState {
     std::size_t states_total = 0;
     double verify_seconds_total = 0.0;
     std::size_t peak_resident_bytes = 0;
+    std::size_t por_active_configs = 0;  ///< rows whose pass reduced
+    std::size_t por_enabled_total = 0;   ///< full-exploration work
+    std::size_t por_expanded_total = 0;  ///< work actually done
     bool joined = false;
 };
 
@@ -139,6 +142,7 @@ SweepResult process_point(SweepState& state, const SweepPoint& point) {
             row.states = std::max(row.states, finding.states_explored);
         }
         row.memory = design->memory_stats();
+        row.por = design->por_stats();
 
         bool truncated_by_stop = false;
         for (const auto& finding : row.report.findings) {
@@ -184,6 +188,11 @@ void worker_loop(const std::shared_ptr<SweepState>& state) {
                 state->peak_resident_bytes = std::max(
                     state->peak_resident_bytes, row.memory->peak_bytes);
             }
+            if (row.por && row.por->active) {
+                ++state->por_active_configs;
+                state->por_enabled_total += row.por->enabled_transitions;
+                state->por_expanded_total += row.por->expanded_transitions;
+            }
             state->results[index] = std::move(row);
             ++state->done;
             // cancel() flips the flag under this same mutex, so once it
@@ -218,6 +227,9 @@ Metrics build_metrics(SweepState& state) {
     std::size_t states_total = 0;
     double verify_seconds = 0.0;
     std::size_t peak = 0;
+    std::size_t por_active = 0;
+    std::size_t por_enabled = 0;
+    std::size_t por_expanded = 0;
     {
         const std::lock_guard<std::mutex> lock(state.mutex);
         done = state.done;
@@ -226,6 +238,9 @@ Metrics build_metrics(SweepState& state) {
         states_total = state.states_total;
         verify_seconds = state.verify_seconds_total;
         peak = state.peak_resident_bytes;
+        por_active = state.por_active_configs;
+        por_enabled = state.por_enabled_total;
+        por_expanded = state.por_expanded_total;
     }
     const std::size_t total = state.grid.size();
     const std::size_t queued = total - std::min(total, done + in_flight);
@@ -262,6 +277,32 @@ Metrics build_metrics(SweepState& state) {
     m.set("rap_sweep_peak_resident_bytes",
           "Largest single-exploration resident footprint seen",
           Type::kGauge, static_cast<double>(peak));
+
+    // Partial-order reduction aggregates across completed rows. The
+    // ratio compares transition-expansion work, the quantity reduction
+    // actually saves (state counts are a second-order consequence).
+    m.set("rap_por_active_configs",
+          "Completed configurations whose pass ran with reduction",
+          Type::kGauge, static_cast<double>(por_active));
+    m.set("rap_por_enabled_transitions_total",
+          "Enabled transitions across expanded states (full-exploration "
+          "work)",
+          Type::kCounter, static_cast<double>(por_enabled));
+    m.set("rap_por_expanded_transitions_total",
+          "Transitions actually expanded under reduction",
+          Type::kCounter, static_cast<double>(por_expanded));
+    m.set("rap_por_ignored_transitions_total",
+          "Enabled transitions skipped thanks to reduction",
+          Type::kCounter,
+          static_cast<double>(por_enabled -
+                              std::min(por_enabled, por_expanded)));
+    m.set("rap_por_reduction_ratio",
+          "Enabled / expanded transition work across reduced passes",
+          Type::kGauge,
+          por_expanded > 0
+              ? static_cast<double>(por_enabled) /
+                    static_cast<double>(por_expanded)
+              : 0.0);
 
     // Process artifact-cache counters, as deltas since launch so the
     // exposition describes THIS sweep's traffic.
@@ -327,6 +368,10 @@ Sweep::Sweep(Factory factory, DesignOptions base)
             "flow::Sweep: the model factory must be callable");
     }
     validate_options(base_);
+    // Sweeps verify with partial-order reduction by default: verdicts
+    // are preserved and every configuration explores a smaller graph.
+    // Sweep::por(false) restores full explorations.
+    base_.verify.por = true;
     schedules_.push_back(
         tech::VoltageSchedule::constant(base_.process.v_nominal));
 }
@@ -374,6 +419,11 @@ Sweep& Sweep::schedules(std::vector<tech::VoltageSchedule> values) {
 
 Sweep& Sweep::spec(verify::Spec value) {
     spec_ = std::move(value);
+    return *this;
+}
+
+Sweep& Sweep::por(bool enabled) {
+    base_.verify.por = enabled;
     return *this;
 }
 

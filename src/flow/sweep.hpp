@@ -50,6 +50,9 @@ struct SweepResult {
     std::size_t states = 0;           ///< states explored by the pass
     double verify_seconds = 0.0;      ///< wall time of the verification
     std::optional<petri::MemoryStats> memory;  ///< exploration footprint
+    /// Partial-order-reduction statistics of the verification pass
+    /// (sweeps verify with reduction on by default — Sweep::por()).
+    std::optional<petri::PorStats> por;
     /// Wall seconds for one nominal-speed second of work under this
     /// point's voltage schedule (+inf when the supply never recovers
     /// above the freeze voltage) — the schedule axis' figure of merit.
@@ -122,6 +125,11 @@ public:
 
     /// Properties each configuration verifies (default Spec::standard()).
     Sweep& spec(verify::Spec value);
+    /// Partial-order reduction for the per-configuration verifications.
+    /// Defaults to ON inside sweeps (it preserves every verdict while
+    /// shrinking the explored graph — see VerifyOptions::por), overriding
+    /// the base options; pass false to measure full explorations.
+    Sweep& por(bool enabled);
     /// Worker pool size; 0 (default) = one per hardware thread, capped
     /// at the grid size.
     Sweep& workers(std::size_t count);

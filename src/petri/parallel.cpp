@@ -6,6 +6,7 @@
 #include <cstring>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "util/steal_deque.hpp"
@@ -251,7 +252,8 @@ public:
           stop_(options.stop),
           diet_(options.frontier_enabled_cache),
           stealing_(options.work_stealing),
-          wmeta_words_(cas_tree_ ? 2 : 0),
+          por_(make_por(compiled, options, query)),
+          wmeta_words_((cas_tree_ || por_.has_value()) ? 2 : 0),
           erec_off_(mwords_ + wmeta_words_),
           store_(mwords_, wmeta_words_ + (diet_ ? 0 : twords_), workers),
           resolved_(query.goals.size(), 0),
@@ -263,6 +265,7 @@ public:
                             ConcurrentMarkingStore::kNone);
             ctx.child.assign(std::max<std::size_t>(mwords_, 1), 0);
             ctx.scratch = Marking(net.place_count());
+            if (por_) ctx.ample.assign(twords_, 0);
             if (diet_) {
                 // Small blocks: these hold ~one BFS layer per worker and
                 // are recycled every other barrier, so the default block
@@ -285,6 +288,21 @@ public:
     MultiResult run();
 
 private:
+    /// Builds the pass's reduction context, or nullopt when reduction is
+    /// off / inactive (so `if (por_)` is the single activity test).
+    static std::optional<PorContext> make_por(
+        const CompiledNet& compiled, const ReachabilityOptions& options,
+        const MultiQuery& query) {
+        if (!options.por) return std::nullopt;
+        PorRequest request;
+        request.goals = query.goals;
+        request.check_persistence = query.check_persistence;
+        request.persistence_exempt = query.persistence_exempt;
+        std::optional<PorContext> por(std::in_place, compiled, request);
+        if (!por->active()) por.reset();
+        return por;
+    }
+
     struct LocalViolation {
         std::uint32_t state;  ///< id of the marking the pair conflicts at
         std::uint32_t depth;  ///< its BFS depth (trace length)
@@ -308,6 +326,9 @@ private:
         /// Ping-pong enabled-row arenas (frontier cache mode): [parity]
         /// fills with discoveries while [1 - parity] backs the frontier.
         std::vector<util::WordArena> earena;
+        PorContext::Scratch por_scratch;   ///< reduce() working set
+        std::vector<std::uint64_t> ample;  ///< stubborn-subset bitset
+        PorStats por;                      ///< this worker's share
         std::size_t edges = 0;
         std::size_t out_edges = 0;  ///< enabled-bit sum of discoveries
         std::size_t steals = 0;     ///< chunks taken from other workers
@@ -454,61 +475,143 @@ private:
     void expand(std::uint32_t head, const std::uint64_t* enabled,
                 std::size_t w, WorkerCtx& ctx) {
         const std::uint64_t* marking = marking_of(head);
-        for (std::size_t word = 0; word < twords_; ++word) {
-            std::uint64_t bits = enabled[word];
-            while (bits != 0) {
-                if (abort_now_.load(std::memory_order_relaxed)) return;
-                const TransitionId t{static_cast<std::uint32_t>(
-                    word * kWordBits +
-                    static_cast<std::size_t>(std::countr_zero(bits)))};
-                bits &= bits - 1;
 
-                ++ctx.edges;
-                copy_words(ctx.child.data(), marking, mwords_);
-                compiled_.fire(ctx.child.data(), t);
+        // Reduction decision first — deterministic in (marking, enabled),
+        // so the reduced graph is the same whichever worker expands head.
+        const std::uint64_t* bits_src = enabled;
+        bool reduced = false;
+        std::size_t enabled_count = 0;
+        std::size_t ample_count = 0;
+        if (por_) {
+            enabled_count = enabled_popcount(enabled);
+            ++ctx.por.expansions;
+            ctx.por.enabled_transitions += enabled_count;
+            reduced = por_->reduce(marking, enabled, ctx.ample.data(),
+                                   ctx.por_scratch);
+            if (reduced) {
+                ++ctx.por.reduced_expansions;
+                ample_count = enabled_popcount(ctx.ample.data());
+                ctx.por.expanded_transitions += ample_count;
+                bits_src = ctx.ample.data();
+            } else {
+                ctx.por.expanded_transitions += enabled_count;
+            }
+        }
 
-                if (query_.check_persistence) {
+        // Persistence is a property of the FULL graph's edges: under
+        // reduction, check every enabled transition's edge up front so
+        // the verdict never depends on which edges the stubborn set kept.
+        const bool prepass = por_.has_value() && query_.check_persistence;
+        if (prepass) {
+            for (std::size_t word = 0; word < twords_; ++word) {
+                std::uint64_t bits = enabled[word];
+                while (bits != 0) {
+                    if (abort_now_.load(std::memory_order_relaxed)) return;
+                    const TransitionId t{static_cast<std::uint32_t>(
+                        word * kWordBits +
+                        static_cast<std::size_t>(std::countr_zero(bits)))};
+                    bits &= bits - 1;
+                    copy_words(ctx.child.data(), marking, mwords_);
+                    compiled_.fire(ctx.child.data(), t);
                     check_persistence_edges(head, t, enabled, ctx);
                 }
-
-                std::uint64_t meta_init[2];
-                std::size_t meta_init_words = 0;
-                if (cas_tree_) {
-                    meta_init[0] = (std::uint64_t{t.value} << 32) | head;
-                    meta_init[1] = depth_ + 1;
-                    meta_init_words = 2;
-                }
-                const auto interned =
-                    store_.intern(ctx.child.data(), w, cap_, meta_init,
-                                  meta_init_words);
-                if (interned.id == ConcurrentMarkingStore::kNone) {
-                    truncated_.store(true, std::memory_order_relaxed);
-                    abort_now_.store(true, std::memory_order_release);
-                    return;
-                }
-                if (!interned.inserted) {
-                    if (maintain_tree_) {
-                        cas_witness_link(interned.id, head, t);
-                    }
-                    continue;
-                }
-
-                std::uint64_t* child_enabled;
-                if (diet_) {
-                    util::WordArena& arena = ctx.earena[write_parity_];
-                    child_enabled = arena[arena.push(enabled)];
-                } else {
-                    child_enabled =
-                        store_.record_mut(interned.id) + erec_off_;
-                    copy_words(child_enabled, enabled, twords_);
-                }
-                compiled_.update_enabled(ctx.child.data(), t,
-                                         child_enabled);
-                ctx.out_edges += enabled_popcount(child_enabled);
-                visit(interned.id, child_enabled, ctx);
-                ctx.out.push_back(interned.id);
-                ctx.out_rows.push_back(child_enabled);
             }
+        }
+
+        // True once some successor of head sits in the next BFS layer:
+        // the reduced expansion then provably makes progress and the
+        // ignoring proviso holds without widening.
+        bool fresh_seen = false;
+
+        auto expand_edge = [&](TransitionId t, bool check_edges) -> bool {
+            ++ctx.edges;
+            copy_words(ctx.child.data(), marking, mwords_);
+            compiled_.fire(ctx.child.data(), t);
+
+            if (check_edges && query_.check_persistence) {
+                check_persistence_edges(head, t, enabled, ctx);
+            }
+
+            std::uint64_t meta_init[2];
+            std::size_t meta_init_words = 0;
+            if (wmeta_words_ != 0) {
+                meta_init[0] = (std::uint64_t{t.value} << 32) | head;
+                meta_init[1] = depth_ + 1;
+                meta_init_words = 2;
+            }
+            const auto interned =
+                store_.intern(ctx.child.data(), w, cap_, meta_init,
+                              meta_init_words);
+            if (interned.id == ConcurrentMarkingStore::kNone) {
+                truncated_.store(true, std::memory_order_relaxed);
+                abort_now_.store(true, std::memory_order_release);
+                return false;
+            }
+            if (!interned.inserted) {
+                if (maintain_tree_) {
+                    cas_witness_link(interned.id, head, t);
+                }
+                // The depth word is written pre-publication and never
+                // changes, so this read is race-free. Next-layer
+                // duplicates count as progress exactly like the
+                // sequential engine's id watermark does.
+                if (por_ &&
+                    store_[interned.id][mwords_ + 1] == depth_ + 1) {
+                    fresh_seen = true;
+                }
+                return true;
+            }
+            fresh_seen = true;
+
+            std::uint64_t* child_enabled;
+            if (diet_) {
+                util::WordArena& arena = ctx.earena[write_parity_];
+                child_enabled = arena[arena.push(enabled)];
+            } else {
+                child_enabled =
+                    store_.record_mut(interned.id) + erec_off_;
+                copy_words(child_enabled, enabled, twords_);
+            }
+            compiled_.update_enabled(ctx.child.data(), t, child_enabled);
+            ctx.out_edges += enabled_popcount(child_enabled);
+            visit(interned.id, child_enabled, ctx);
+            ctx.out.push_back(interned.id);
+            ctx.out_rows.push_back(child_enabled);
+            return true;
+        };
+
+        auto expand_bits = [&](const std::uint64_t* src,
+                               const std::uint64_t* minus,
+                               bool check_edges) -> bool {
+            for (std::size_t word = 0; word < twords_; ++word) {
+                std::uint64_t bits = src[word];
+                if (minus != nullptr) bits &= ~minus[word];
+                while (bits != 0) {
+                    if (abort_now_.load(std::memory_order_relaxed)) {
+                        return false;
+                    }
+                    const TransitionId t{static_cast<std::uint32_t>(
+                        word * kWordBits +
+                        static_cast<std::size_t>(std::countr_zero(bits)))};
+                    bits &= bits - 1;
+                    if (!expand_edge(t, check_edges)) return false;
+                }
+            }
+            return true;
+        };
+
+        if (!expand_bits(bits_src, nullptr, /*check_edges=*/!prepass)) {
+            return;
+        }
+
+        // Ignoring proviso: a reduced expansion none of whose stubborn
+        // successors reached the next layer could postpone a visible
+        // action forever — widen to the full enabled set. Deadlock-only
+        // passes never need this (proviso_needed() is false).
+        if (reduced && por_->proviso_needed() && !fresh_seen) {
+            ++ctx.por.proviso_expansions;
+            ctx.por.expanded_transitions += enabled_count - ample_count;
+            expand_bits(enabled, ctx.ample.data(), /*check_edges=*/false);
         }
     }
 
@@ -837,6 +940,11 @@ private:
     const std::function<bool()> stop_;  ///< cooperative stop hook
     const bool diet_;       ///< frontier-only enabled-set cache
     const bool stealing_;   ///< deque scheduling (vs atomic cursor)
+    /// Stubborn-set reduction of this pass (options.por); absent when off
+    /// or fallen back to full exploration. Also forces the two per-record
+    /// meta words: the depth word is the freshness test of the ignoring
+    /// proviso, mirroring the sequential engine's id watermark.
+    const std::optional<PorContext> por_;
     const std::size_t wmeta_words_;  ///< witness meta words per record
     const std::size_t erec_off_;     ///< in-record enabled offset (!diet_)
 
@@ -947,8 +1055,10 @@ MultiResult ParallelPass::assemble() {
     MultiResult result;
     result.states_explored = store_.size();
     result.truncated = truncated_.load(std::memory_order_acquire);
+    result.por.active = por_.has_value();
     for (const WorkerCtx& ctx : ctx_) {
         result.edges_explored += ctx.edges;
+        result.por.merge(ctx.por);
     }
     result.memory.records = store_.size();
     result.memory.record_bytes = store_.record_bytes();
@@ -1003,6 +1113,7 @@ MultiResult ParallelPass::assemble() {
         r.edges_explored = result.edges_explored;
         r.truncated = result.truncated;
         r.memory = result.memory;
+        r.por = result.por;
         if (resolved_[g]) {
             r.witness = materialize(witness_id_[g]);
             r.witness_trace = reconstruct(witness_id_[g]);
@@ -1045,6 +1156,7 @@ ReachabilityResult ParallelReachabilityExplorer::explore_all() {
     result.edges_explored = multi.edges_explored;
     result.truncated = multi.truncated;
     result.memory = multi.memory;
+    result.por = multi.por;
     return result;
 }
 

@@ -1,0 +1,316 @@
+#include "petri/por.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace rap::petri {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+bool test_bit(const std::uint64_t* words, std::uint32_t i) noexcept {
+    return (words[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+void set_bit(std::uint64_t* words, std::uint32_t i) noexcept {
+    words[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+std::vector<std::uint32_t> ids(const std::vector<PlaceId>& places) {
+    std::vector<std::uint32_t> out;
+    out.reserve(places.size());
+    for (PlaceId p : places) out.push_back(p.value);
+    return out;
+}
+
+}  // namespace
+
+PorContext::Csr PorContext::build_csr(
+    std::size_t rows, const std::vector<std::vector<std::uint32_t>>& adj) {
+    Csr csr;
+    csr.off.resize(rows + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+        csr.off[i] = static_cast<std::uint32_t>(total);
+        total += adj[i].size();
+    }
+    csr.off[rows] = static_cast<std::uint32_t>(total);
+    csr.items.reserve(total);
+    for (std::size_t i = 0; i < rows; ++i) {
+        csr.items.insert(csr.items.end(), adj[i].begin(), adj[i].end());
+    }
+    return csr;
+}
+
+void PorContext::mark_togglers_visible(std::uint32_t place) {
+    for (std::uint32_t t : producers_.row(place)) visible_[t] = 1;
+    for (std::uint32_t t : unmarkers_.row(place)) visible_[t] = 1;
+}
+
+void PorContext::mark_enabledness_support_visible(std::uint32_t transition) {
+    if (support_marked_[transition]) return;
+    support_marked_[transition] = 1;
+    for (std::uint32_t p : require_.row(transition)) {
+        mark_togglers_visible(p);
+    }
+    for (std::uint32_t p : forbid_.row(transition)) {
+        mark_togglers_visible(p);
+    }
+}
+
+PorContext::PorContext(const CompiledNet& compiled,
+                       const PorRequest& request)
+    : net_(&compiled.net()),
+      transition_count_(compiled.transition_count()),
+      marking_words_(compiled.marking_words()),
+      enabled_words_(compiled.enabled_words()) {
+    // A pass whose goals include a predicate of unknown support cannot
+    // bound that goal's visible transitions; reduction would risk the
+    // verdict, so the whole pass falls back to full exploration.
+    // (Deadlock goals need no visibility: stubbornness alone preserves
+    // every deadlock.) Nets with < 2 transitions have nothing to reduce.
+    active_ = transition_count_ >= 2;
+    for (const Predicate* goal : request.goals) {
+        if (goal == nullptr) continue;
+        if (goal->kind() == Predicate::Kind::Deadlock) continue;
+        if (!goal->support()) active_ = false;
+    }
+    if (!active_) return;
+
+    const std::size_t T = transition_count_;
+    const std::size_t P = net_->place_count();
+
+    // Per-transition place lists under the compiled "safe enabling"
+    // semantics. Note ton(t) = post ∖ pre = forbid(t): producing into p
+    // requires p unmarked (contact-freeness), so the produce-only places
+    // are exactly the places t can mark.
+    std::vector<std::vector<std::uint32_t>> require_adj(T);
+    std::vector<std::vector<std::uint32_t>> forbid_adj(T);
+    std::vector<std::vector<std::uint32_t>> toff_adj(T);
+    for (std::uint32_t t = 0; t < T; ++t) {
+        const auto pre = ids(net_->preset(TransitionId{t}));
+        const auto post = ids(net_->postset(TransitionId{t}));
+        const auto read = ids(net_->readset(TransitionId{t}));
+        std::set_union(pre.begin(), pre.end(), read.begin(), read.end(),
+                       std::back_inserter(require_adj[t]));
+        std::set_difference(post.begin(), post.end(), pre.begin(),
+                            pre.end(), std::back_inserter(forbid_adj[t]));
+        std::set_difference(pre.begin(), pre.end(), post.begin(),
+                            post.end(), std::back_inserter(toff_adj[t]));
+    }
+    require_ = build_csr(T, require_adj);
+    forbid_ = build_csr(T, forbid_adj);
+
+    std::vector<std::vector<std::uint32_t>> producers_adj(P);
+    std::vector<std::vector<std::uint32_t>> unmarkers_adj(P);
+    std::vector<std::vector<std::uint32_t>> requirers_adj(P);
+    for (std::uint32_t t = 0; t < T; ++t) {
+        for (std::uint32_t p : forbid_adj[t]) producers_adj[p].push_back(t);
+        for (std::uint32_t p : toff_adj[t]) unmarkers_adj[p].push_back(t);
+        for (std::uint32_t p : require_adj[t]) {
+            requirers_adj[p].push_back(t);
+        }
+    }
+    producers_ = build_csr(P, producers_adj);
+    unmarkers_ = build_csr(P, unmarkers_adj);
+
+    // Symmetric disabling dependence. disables(t,u):
+    //   toff(t) ∩ require(u) ≠ ∅  (t unmarks a place u needs marked)
+    // ∨ ton(t)  ∩ forbid(u)  ≠ ∅  (t marks a place u needs unmarked)
+    std::vector<std::vector<std::uint32_t>> dependent_adj(T);
+    std::vector<std::uint32_t> buffer;
+    for (std::uint32_t t = 0; t < T; ++t) {
+        buffer.clear();
+        // forward: u that t can disable
+        for (std::uint32_t p : toff_adj[t]) {
+            buffer.insert(buffer.end(), requirers_adj[p].begin(),
+                          requirers_adj[p].end());
+        }
+        for (std::uint32_t p : forbid_adj[t]) {
+            buffer.insert(buffer.end(), producers_adj[p].begin(),
+                          producers_adj[p].end());
+        }
+        // backward: u that can disable t
+        for (std::uint32_t p : require_adj[t]) {
+            buffer.insert(buffer.end(), unmarkers_adj[p].begin(),
+                          unmarkers_adj[p].end());
+        }
+        for (std::uint32_t p : forbid_adj[t]) {
+            buffer.insert(buffer.end(), producers_adj[p].begin(),
+                          producers_adj[p].end());
+        }
+        std::sort(buffer.begin(), buffer.end());
+        buffer.erase(std::unique(buffer.begin(), buffer.end()),
+                     buffer.end());
+        for (std::uint32_t u : buffer) {
+            if (u != t) dependent_adj[t].push_back(u);
+        }
+    }
+    dependent_ = build_csr(T, dependent_adj);
+
+    // Visibility. A transition is visible when its firing can change a
+    // watched predicate: for goals, the togglers of the declared support
+    // places; for persistence, the togglers of the enabledness support
+    // (require ∪ forbid) of both members of every non-exempt pair that
+    // can statically conflict.
+    visible_.assign(T, 0);
+    for (const Predicate* goal : request.goals) {
+        if (goal == nullptr) continue;
+        if (goal->kind() == Predicate::Kind::Deadlock) continue;
+        proviso_ = true;
+        for (PlaceId p : *goal->support()) {
+            mark_togglers_visible(p.value);
+        }
+    }
+    if (request.check_persistence) {
+        proviso_ = true;
+        support_marked_.assign(T, 0);
+        std::vector<std::uint32_t> stamp(T, 0);
+        for (std::uint32_t t = 0; t < T; ++t) {
+            buffer.clear();
+            for (std::uint32_t p : toff_adj[t]) {
+                for (std::uint32_t u : requirers_adj[p]) {
+                    if (stamp[u] != t + 1) {
+                        stamp[u] = t + 1;
+                        buffer.push_back(u);
+                    }
+                }
+            }
+            for (std::uint32_t p : forbid_adj[t]) {
+                for (std::uint32_t u : producers_adj[p]) {
+                    if (stamp[u] != t + 1) {
+                        stamp[u] = t + 1;
+                        buffer.push_back(u);
+                    }
+                }
+            }
+            for (std::uint32_t u : buffer) {
+                if (u == t) continue;
+                if (request.persistence_exempt &&
+                    request.persistence_exempt(*net_, TransitionId{t},
+                                               TransitionId{u})) {
+                    continue;
+                }
+                mark_enabledness_support_visible(t);
+                mark_enabledness_support_visible(u);
+            }
+        }
+    }
+}
+
+bool PorContext::reduce(const std::uint64_t* marking,
+                        const std::uint64_t* enabled, std::uint64_t* ample,
+                        Scratch& s) const {
+    std::size_t enabled_count = 0;
+    for (std::size_t w = 0; w < enabled_words_; ++w) {
+        enabled_count += static_cast<std::size_t>(
+            std::popcount(enabled[w]));
+    }
+    if (enabled_count < 2) return false;
+
+    if (s.stamp.size() != transition_count_) {
+        s.stamp.assign(transition_count_, 0);
+        s.epoch = 0;
+    }
+    s.best.resize(enabled_words_);
+
+    std::size_t best_count = enabled_count;
+    bool found = false;
+    int trials = 0;
+
+    for (std::size_t w = 0; w < enabled_words_ && trials < kSeedTrials;
+         ++w) {
+        std::uint64_t bits = enabled[w];
+        while (bits != 0 && trials < kSeedTrials) {
+            const auto seed = static_cast<std::uint32_t>(
+                w * kWordBits +
+                static_cast<std::size_t>(std::countr_zero(bits)));
+            bits &= bits - 1;
+            ++trials;
+
+            if (++s.epoch == 0) {
+                std::fill(s.stamp.begin(), s.stamp.end(), 0);
+                s.epoch = 1;
+            }
+            s.queue.clear();
+            s.stamp[seed] = s.epoch;
+            s.queue.push_back(seed);
+
+            std::size_t amp = 0;
+            bool aborted = false;
+            for (std::size_t qi = 0; qi < s.queue.size(); ++qi) {
+                const std::uint32_t u = s.queue[qi];
+                if (test_bit(enabled, u)) {
+                    // C2: a proper ample set may not fire a visible
+                    // transition — and a closure that already matches the
+                    // incumbent can't improve on it either way.
+                    if ((proviso_ && visible_[u]) || ++amp >= best_count) {
+                        aborted = true;
+                        break;
+                    }
+                    for (std::uint32_t v : dependent_.row(u)) {
+                        if (s.stamp[v] != s.epoch) {
+                            s.stamp[v] = s.epoch;
+                            s.queue.push_back(v);
+                        }
+                    }
+                } else {
+                    // D2: the necessary enablers of ONE unsatisfied
+                    // condition — any sequence enabling u must first fire
+                    // one of them. Smallest list wins, scan order breaks
+                    // ties, so the choice is deterministic.
+                    std::span<const std::uint32_t> chosen;
+                    std::size_t chosen_size = SIZE_MAX;
+                    for (std::uint32_t p : require_.row(u)) {
+                        if (!test_bit(marking, p)) {
+                            const auto row = producers_.row(p);
+                            if (row.size() < chosen_size) {
+                                chosen = row;
+                                chosen_size = row.size();
+                            }
+                        }
+                    }
+                    for (std::uint32_t p : forbid_.row(u)) {
+                        if (test_bit(marking, p)) {
+                            const auto row = unmarkers_.row(p);
+                            if (row.size() < chosen_size) {
+                                chosen = row;
+                                chosen_size = row.size();
+                            }
+                        }
+                    }
+                    // A disabled transition always has an unsatisfied
+                    // condition; the enabled bitsets are maintained
+                    // incrementally and proven equal to recomputation.
+                    assert(chosen_size != SIZE_MAX);
+                    for (std::uint32_t v : chosen) {
+                        if (s.stamp[v] != s.epoch) {
+                            s.stamp[v] = s.epoch;
+                            s.queue.push_back(v);
+                        }
+                    }
+                }
+            }
+            if (aborted || amp == 0 || amp >= best_count) continue;
+
+            best_count = amp;
+            found = true;
+            std::fill(s.best.begin(), s.best.end(), 0);
+            for (std::uint32_t u : s.queue) {
+                if (test_bit(enabled, u)) set_bit(s.best.data(), u);
+            }
+            if (best_count == 1) break;
+        }
+        if (found && best_count == 1) break;
+    }
+
+    if (!found) return false;
+    std::memcpy(ample, s.best.data(),
+                enabled_words_ * sizeof(std::uint64_t));
+    return true;
+}
+
+}  // namespace rap::petri

@@ -1,8 +1,22 @@
 #include "petri/predicate.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rap::petri {
+
+std::optional<std::vector<PlaceId>> Predicate::merge_support(
+    const std::optional<std::vector<PlaceId>>& lhs,
+    const std::optional<std::vector<PlaceId>>& rhs) {
+    // Unknown on either side poisons the result: the combined predicate
+    // may read whatever the unknown side reads.
+    if (!lhs || !rhs) return std::nullopt;
+    std::vector<PlaceId> merged;
+    merged.reserve(lhs->size() + rhs->size());
+    std::set_union(lhs->begin(), lhs->end(), rhs->begin(), rhs->end(),
+                   std::back_inserter(merged));
+    return merged;
+}
 
 Predicate Predicate::marked(const Net& net, std::string_view place) {
     const auto id = net.find_place(place);
@@ -10,10 +24,12 @@ Predicate Predicate::marked(const Net& net, std::string_view place) {
         throw std::invalid_argument("unknown place: " + std::string(place));
     }
     const PlaceId p = *id;
-    return Predicate("$P\"" + std::string(place) + "\"",
+    Predicate result("$P\"" + std::string(place) + "\"",
                      [p](const Net&, const Marking& m) {
                          return m.get(p.value);
                      });
+    result.support_ = std::vector<PlaceId>{p};
+    return result;
 }
 
 Predicate Predicate::enabled(const Net& net, std::string_view transition) {
@@ -23,10 +39,23 @@ Predicate Predicate::enabled(const Net& net, std::string_view transition) {
                                     std::string(transition));
     }
     const TransitionId t = *id;
-    return Predicate("@T\"" + std::string(transition) + "\"",
+    Predicate result("@T\"" + std::string(transition) + "\"",
                      [t](const Net& n, const Marking& m) {
                          return n.is_enabled(m, t);
                      });
+    // Enabledness is a function of the pre, read and produce-only places
+    // (pre ∪ read ∪ post covers require ∪ forbid; the over-approximation
+    // of pre ∩ post places is sound — extra support only adds visibility).
+    std::vector<PlaceId> support;
+    for (const auto& arcs :
+         {net.preset(t), net.readset(t), net.postset(t)}) {
+        support.insert(support.end(), arcs.begin(), arcs.end());
+    }
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()),
+                  support.end());
+    result.support_ = std::move(support);
+    return result;
 }
 
 Predicate Predicate::deadlock() {
@@ -40,30 +69,46 @@ Predicate Predicate::custom(std::string description, Eval eval) {
     return Predicate(std::move(description), std::move(eval));
 }
 
+Predicate Predicate::custom(std::string description, Eval eval,
+                            std::vector<PlaceId> support) {
+    Predicate result(std::move(description), std::move(eval));
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()),
+                  support.end());
+    result.support_ = std::move(support);
+    return result;
+}
+
 Predicate Predicate::operator&&(const Predicate& rhs) const {
     auto lhs_eval = eval_;
     auto rhs_eval = rhs.eval_;
-    return Predicate("(" + description_ + " & " + rhs.description_ + ")",
+    Predicate result("(" + description_ + " & " + rhs.description_ + ")",
                      [lhs_eval, rhs_eval](const Net& n, const Marking& m) {
                          return lhs_eval(n, m) && rhs_eval(n, m);
                      });
+    result.support_ = merge_support(support_, rhs.support_);
+    return result;
 }
 
 Predicate Predicate::operator||(const Predicate& rhs) const {
     auto lhs_eval = eval_;
     auto rhs_eval = rhs.eval_;
-    return Predicate("(" + description_ + " | " + rhs.description_ + ")",
+    Predicate result("(" + description_ + " | " + rhs.description_ + ")",
                      [lhs_eval, rhs_eval](const Net& n, const Marking& m) {
                          return lhs_eval(n, m) || rhs_eval(n, m);
                      });
+    result.support_ = merge_support(support_, rhs.support_);
+    return result;
 }
 
 Predicate Predicate::operator!() const {
     auto inner = eval_;
-    return Predicate("~" + description_,
+    Predicate result("~" + description_,
                      [inner](const Net& n, const Marking& m) {
                          return !inner(n, m);
                      });
+    result.support_ = support_;
+    return result;
 }
 
 }  // namespace rap::petri

@@ -2,7 +2,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "petri/net.hpp"
 
@@ -38,6 +40,18 @@ public:
 
     Kind kind() const noexcept { return kind_; }
 
+    /// Support places: a set of places such that the predicate's value is
+    /// a function of their marking alone. The partial-order reduction
+    /// uses it to decide which transitions are *visible* to a goal;
+    /// nullopt ("unknown support" — e.g. a custom closure that inspects
+    /// arbitrary state) makes a POR pass carrying this goal fall back to
+    /// full exploration rather than risk the verdict. The built-in atoms
+    /// fill it in, connectives take the union, Deadlock goals never need
+    /// it (deadlock preservation is structural, not visibility-based).
+    const std::optional<std::vector<PlaceId>>& support() const noexcept {
+        return support_;
+    }
+
     // -- atoms --------------------------------------------------------
     /// True when the named place is marked. Throws if the place is absent.
     static Predicate marked(const Net& net, std::string_view place);
@@ -48,8 +62,14 @@ public:
     /// True when no transition is enabled (deadlock).
     static Predicate deadlock();
 
-    /// Escape hatch for custom atoms.
+    /// Escape hatch for custom atoms (unknown support: POR passes
+    /// carrying this goal fall back to full exploration).
     static Predicate custom(std::string description, Eval eval);
+
+    /// Custom atom with declared support places: the caller promises the
+    /// predicate reads no marking bits outside `support`.
+    static Predicate custom(std::string description, Eval eval,
+                            std::vector<PlaceId> support);
 
     // -- connectives ----------------------------------------------------
     Predicate operator&&(const Predicate& rhs) const;
@@ -62,9 +82,14 @@ private:
           eval_(std::move(eval)),
           kind_(kind) {}
 
+    static std::optional<std::vector<PlaceId>> merge_support(
+        const std::optional<std::vector<PlaceId>>& lhs,
+        const std::optional<std::vector<PlaceId>>& rhs);
+
     std::string description_;
     Eval eval_;
     Kind kind_ = Kind::Generic;
+    std::optional<std::vector<PlaceId>> support_;
 };
 
 }  // namespace rap::petri

@@ -86,6 +86,7 @@ ReachabilityResult ReachabilityExplorer::explore_all() {
     result.edges_explored = multi.edges_explored;
     result.truncated = multi.truncated;
     result.memory = multi.memory;
+    result.por = multi.por;
     return result;
 }
 
@@ -119,6 +120,27 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     Marking scratch(net_.place_count());
     const std::size_t scratch_words = scratch.word_count();
     std::vector<std::uint64_t> child(std::max<std::size_t>(mwords, 1), 0);
+
+    // Partial-order reduction context: static dependency/visibility
+    // tables for this query's properties. Reset when the pass cannot
+    // bound a goal's visible transitions (unknown support) — reduction
+    // then silently degrades to full exploration.
+    std::optional<PorContext> por;
+    PorContext::Scratch por_scratch;
+    std::vector<std::uint64_t> ample;
+    if (options_.por) {
+        PorRequest request;
+        request.goals = query.goals;
+        request.check_persistence = query.check_persistence;
+        request.persistence_exempt = query.persistence_exempt;
+        por.emplace(*compiled_, request);
+        if (por->active()) {
+            ample.resize(twords);
+        } else {
+            por.reset();
+        }
+    }
+    result.por.active = por.has_value();
 
     bool stop = false;
 
@@ -178,6 +200,13 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     // indices and the queue is FIFO, so the frontier is exactly the id
     // range [head, store_.size()).
     const std::size_t rpb = enabled_store.records_per_block();
+    // POR freshness watermark: ids below `next_layer_begin` belong to
+    // the current or an earlier BFS layer (expanded or being expanded),
+    // ids at or above it were discovered this layer and will only be
+    // expanded in the next one. The parallel engine derives the same
+    // predicate from per-record depth words, so both engines accept the
+    // same ample sets and explore the identical reduced graph.
+    std::uint32_t next_layer_begin = 1;
     for (std::uint32_t head = 0; head < store_.size() && !stop; ++head) {
         if (options_.stop && (head & 2047u) == 0 && options_.stop()) {
             // Cooperative stop (sweep cancellation / timeout): report the
@@ -194,32 +223,109 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
             peak_bytes = std::max(peak_bytes, resident_now());
             enabled_store.release_before(head);
         }
+        if (head == next_layer_begin) {
+            next_layer_begin = static_cast<std::uint32_t>(store_.size());
+        }
         const std::uint64_t* marking = store_[head];
         const std::uint64_t* enabled = enabled_store[head];
 
-        for (std::size_t w = 0; w < twords && !stop; ++w) {
-            std::uint64_t bits = enabled[w];
-            while (bits != 0 && !stop) {
-                const TransitionId t{static_cast<std::uint32_t>(
-                    w * kWordBits +
-                    static_cast<std::size_t>(std::countr_zero(bits)))};
-                bits &= bits - 1;
+        // Persistence under reduction is checked per STATE over the full
+        // enabled set (the bitsets are always maintained in full — POR
+        // only masks which bits get expanded), so every reduced-reachable
+        // state reports exactly the violations the full engine finds
+        // there. Without POR the check rides on the expansion edges below.
+        const bool persistence_prepass = por && query.check_persistence;
+        bool fresh_seen = false;
 
-                ++result.edges_explored;
-                copy_words(child.data(), marking, mwords);
-                compiled_->fire(child.data(), t);
+        auto expand_edge = [&](TransitionId t, bool check_edges) {
+            ++result.edges_explored;
+            copy_words(child.data(), marking, mwords);
+            compiled_->fire(child.data(), t);
 
-                if (query.check_persistence &&
-                    result.persistence_violations.size() <
+            if (check_edges && query.check_persistence &&
+                result.persistence_violations.size() <
+                    query.persistence_max_violations) {
+                for (std::uint32_t u : compiled_->affected(t)) {
+                    if (u == t.value) continue;
+                    if (((enabled[u / kWordBits] >> (u % kWordBits)) &
+                         1) == 0) {
+                        continue;  // u was not enabled before t fired
+                    }
+                    const TransitionId ut{u};
+                    if (compiled_->is_enabled(child.data(), ut)) continue;
+                    if (query.persistence_exempt &&
+                        query.persistence_exempt(net_, t, ut)) {
+                        continue;
+                    }
+                    result.persistence_violations.push_back(
+                        {materialize(head), t, ut, rebuild_trace(head)});
+                    if (query.persistence_stop_at_first) {
+                        stop = true;
+                        return;
+                    }
+                    if (result.persistence_violations.size() >=
                         query.persistence_max_violations) {
+                        break;
+                    }
+                }
+            }
+
+            const auto interned = store_.intern(child.data(), cap);
+            if (interned.id == MarkingStore::kNone) {
+                // max_states hit mid-expansion: report truncation and
+                // stop with states_explored == max_states exactly.
+                result.truncated = true;
+                stop = true;
+                return;
+            }
+            if (interned.id >= next_layer_begin) fresh_seen = true;
+            if (!interned.inserted) return;
+
+            store_.meta(interned.id)[0] = pack_visit(head, t.value);
+            enabled_store.push(enabled);
+            compiled_->update_enabled(child.data(), t,
+                                      enabled_store[interned.id]);
+            visit(interned.id);
+        };
+
+        auto expand_bits = [&](const std::uint64_t* bits_src,
+                               const std::uint64_t* minus,
+                               bool check_edges) {
+            for (std::size_t w = 0; w < twords && !stop; ++w) {
+                std::uint64_t bits = bits_src[w];
+                if (minus != nullptr) bits &= ~minus[w];
+                while (bits != 0 && !stop) {
+                    const TransitionId t{static_cast<std::uint32_t>(
+                        w * kWordBits +
+                        static_cast<std::size_t>(std::countr_zero(bits)))};
+                    bits &= bits - 1;
+                    expand_edge(t, check_edges);
+                }
+            }
+        };
+
+        if (persistence_prepass &&
+            result.persistence_violations.size() <
+                query.persistence_max_violations) {
+            for (std::size_t w = 0; w < twords && !stop; ++w) {
+                std::uint64_t bits = enabled[w];
+                while (bits != 0 && !stop) {
+                    const TransitionId t{static_cast<std::uint32_t>(
+                        w * kWordBits +
+                        static_cast<std::size_t>(std::countr_zero(bits)))};
+                    bits &= bits - 1;
+                    copy_words(child.data(), marking, mwords);
+                    compiled_->fire(child.data(), t);
                     for (std::uint32_t u : compiled_->affected(t)) {
                         if (u == t.value) continue;
                         if (((enabled[u / kWordBits] >> (u % kWordBits)) &
                              1) == 0) {
-                            continue;  // u was not enabled before t fired
+                            continue;
                         }
                         const TransitionId ut{u};
-                        if (compiled_->is_enabled(child.data(), ut)) continue;
+                        if (compiled_->is_enabled(child.data(), ut)) {
+                            continue;
+                        }
                         if (query.persistence_exempt &&
                             query.persistence_exempt(net_, t, ut)) {
                             continue;
@@ -236,25 +342,50 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
                             break;
                         }
                     }
-                    if (stop) break;
+                    if (result.persistence_violations.size() >=
+                        query.persistence_max_violations) {
+                        break;
+                    }
                 }
-
-                const auto interned = store_.intern(child.data(), cap);
-                if (interned.id == MarkingStore::kNone) {
-                    // max_states hit mid-expansion: report truncation and
-                    // stop with states_explored == max_states exactly.
-                    result.truncated = true;
-                    stop = true;
-                    break;
-                }
-                if (!interned.inserted) continue;
-
-                store_.meta(interned.id)[0] = pack_visit(head, t.value);
-                enabled_store.push(enabled);
-                compiled_->update_enabled(child.data(), t,
-                                         enabled_store[interned.id]);
-                visit(interned.id);
             }
+            if (stop) break;
+        }
+
+        bool reduced = false;
+        std::size_t enabled_count = 0;
+        std::size_t ample_count = 0;
+        if (por) {
+            for (std::size_t w = 0; w < twords; ++w) {
+                enabled_count += static_cast<std::size_t>(
+                    std::popcount(enabled[w]));
+            }
+            reduced = por->reduce(marking, enabled, ample.data(),
+                                  por_scratch);
+            ++result.por.expansions;
+            result.por.enabled_transitions += enabled_count;
+            if (reduced) {
+                ++result.por.reduced_expansions;
+                for (std::size_t w = 0; w < twords; ++w) {
+                    ample_count += static_cast<std::size_t>(
+                        std::popcount(ample[w]));
+                }
+            }
+            result.por.expanded_transitions +=
+                reduced ? ample_count : enabled_count;
+        }
+
+        expand_bits(reduced ? ample.data() : enabled, nullptr,
+                    /*check_edges=*/!persistence_prepass);
+
+        // Ignoring proviso (BFS-queue flavour): a visibility-sensitive
+        // pass may not postpone the ignored transitions forever. If no
+        // stubborn successor is fresh — none will be expanded in a later
+        // layer — widen this state back to the full enabled set.
+        if (reduced && por->proviso_needed() && !fresh_seen && !stop) {
+            ++result.por.proviso_expansions;
+            result.por.expanded_transitions += enabled_count - ample_count;
+            expand_bits(enabled, ample.data(),
+                        /*check_edges=*/false);
         }
     }
 
@@ -270,6 +401,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
         r.edges_explored = result.edges_explored;
         r.truncated = result.truncated;
         r.memory = result.memory;
+        r.por = result.por;
         if (goal_hit[g] != kNoParent) {
             r.witness = materialize(goal_hit[g]);
             r.witness_trace = rebuild_trace(goal_hit[g]);

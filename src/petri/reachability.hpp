@@ -10,6 +10,7 @@
 
 #include "petri/compiled.hpp"
 #include "petri/net.hpp"
+#include "petri/por.hpp"
 #include "petri/predicate.hpp"
 
 namespace rap::petri {
@@ -40,6 +41,22 @@ struct ReachabilityOptions {
     /// Results are bit-identical either way — the bitsets of fully
     /// expanded layers are never read again.
     bool frontier_enabled_cache = true;
+    /// Partial-order (stubborn-set) reduction: expand a property-aware
+    /// stubborn subset of each state's enabled set instead of all of it
+    /// (see petri::PorContext). Verdicts are preserved — deadlock sets
+    /// exactly, goal reachability and the persistence verdict through
+    /// visibility conditions plus the BFS-queue ignoring proviso — while
+    /// the explored state count can shrink by large factors on highly
+    /// concurrent nets. Under reduction, witnesses remain genuine firing
+    /// sequences but need not be globally shortest, a goal's witness
+    /// marking may differ from the full pass's, states_explored/
+    /// edges_explored count the *reduced* graph (still deterministic
+    /// across engines and thread counts), and collected persistence
+    /// violations are a subset of the full pass's (non-emptiness — the
+    /// verdict — is preserved). Passes carrying a goal with unknown
+    /// support places fall back to full exploration (PorStats::active
+    /// reports false).
+    bool por = false;
     /// How ParallelReachabilityExplorer builds the canonical witness tree
     /// (ReachabilityExplorer is single-threaded and ignores this).
     enum class WitnessTree {
@@ -88,6 +105,7 @@ struct ReachabilityResult {
     std::size_t edges_explored = 0;
     bool truncated = false;
     MemoryStats memory;
+    PorStats por;  ///< reduction statistics (inactive when por was off)
 
     /// Set when a goal predicate was supplied and matched. Always the
     /// *first* match in BFS order, i.e. a shortest witness, regardless of
@@ -142,6 +160,7 @@ struct MultiResult {
     std::size_t edges_explored = 0;
     bool truncated = false;
     MemoryStats memory;
+    PorStats por;  ///< reduction statistics (inactive when por was off)
 
     /// One entry per MultiQuery::goals entry, all sharing the pass's
     /// states/edges/truncated counters.

@@ -52,6 +52,7 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     ropts.stop_at_first_match = stop_at_first_match;
     ropts.threads = options_.threads;
     ropts.frontier_enabled_cache = options_.frontier_enabled_cache;
+    ropts.por = options_.por;
     ropts.stop = options_.stop;
     // The parallel explorer shards the BFS frontier over the shared
     // compiled artifact; at one (resolved) thread it delegates to the
@@ -60,6 +61,7 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     ++explorations_;
     auto result = explorer.run_query(query);
     last_memory_ = result.memory;
+    last_por_ = result.por;
     return result;
 }
 
@@ -133,6 +135,16 @@ std::optional<petri::Predicate> Verifier::control_conflict_predicate()
     if (watched.empty()) return std::nullopt;
 
     const auto& places = model_->translation().places;
+    // The predicate only reads the m1/mt1 slots of the watched controls;
+    // declaring that support keeps partial-order reduction admissible
+    // (an unknown-support goal would force full exploration).
+    std::vector<petri::PlaceId> support;
+    for (const auto& w : watched) {
+        for (const dfs::NodeId c : w.controls) {
+            support.push_back(places[c.value].m1);
+            support.push_back(places[c.value].mt1);
+        }
+    }
     auto eval = [watched, &places](const petri::Net&,
                                    const petri::Marking& m) {
         for (const auto& w : watched) {
@@ -153,7 +165,8 @@ std::optional<petri::Predicate> Verifier::control_conflict_predicate()
         }
         return false;
     };
-    return petri::Predicate::custom("control-conflict", std::move(eval));
+    return petri::Predicate::custom("control-conflict", std::move(eval),
+                                    std::move(support));
 }
 
 bool Verifier::persistence_exempt(const petri::Net& net,

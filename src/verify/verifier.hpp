@@ -68,6 +68,15 @@ struct VerifyOptions {
     /// one pass hold the ~19M-state 4-stage OPE models. Verdicts and
     /// witnesses are bit-identical either way.
     bool frontier_enabled_cache = true;
+    /// Partial-order (stubborn-set) reduction forwarded to the
+    /// exploration engines (petri::ReachabilityOptions::por). Verdicts
+    /// are preserved for every property the verifier checks — the
+    /// standard goals carry support places, so the unknown-support
+    /// fallback never triggers for Spec::standard() — but
+    /// states_explored counts the reduced graph and violation witnesses
+    /// need not be globally shortest. por_stats() reports the measured
+    /// reduction after a pass.
+    bool por = false;
     /// Cooperative stop hook forwarded to the exploration engines
     /// (petri::ReachabilityOptions::stop): polled cheaply mid-pass; when
     /// it returns true the exploration ends early and every finding of
@@ -182,6 +191,16 @@ public:
         return last_memory_;
     }
 
+    /// True once at least one exploration has run, i.e. por_stats()
+    /// reports the last pass rather than its all-zero initial state.
+    bool has_por_stats() const noexcept { return explorations_ > 0; }
+
+    /// Reduction statistics of the most recent exploration (inactive
+    /// unless VerifyOptions::por was on and the pass could reduce);
+    /// all-zero until one has run — check has_por_stats()
+    /// (flow::Design::por_stats() wraps this in a std::optional instead).
+    const petri::PorStats& por_stats() const noexcept { return last_por_; }
+
     const dfs::Translation& translation() const noexcept {
         return model_->translation();
     }
@@ -214,6 +233,7 @@ private:
     std::shared_ptr<const CompiledModel> model_;
     mutable std::size_t explorations_ = 0;
     mutable petri::MemoryStats last_memory_;
+    mutable petri::PorStats last_por_;
 };
 
 }  // namespace rap::verify

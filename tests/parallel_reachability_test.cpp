@@ -14,305 +14,27 @@
 #include <optional>
 #include <string>
 #include <thread>
-#include <tuple>
 #include <vector>
 
 #include "dfs/model.hpp"
-#include "dfs/translate.hpp"
 #include "flow/design.hpp"
 #include "ope/dfs_models.hpp"
 #include "petri/parallel.hpp"
 #include "petri/predicate.hpp"
 #include "petri/reachability.hpp"
+#include "petri_fixtures.hpp"
 #include "pipeline/builder.hpp"
-#include "pipeline/wagging.hpp"
 #include "util/rng.hpp"
 #include "util/steal_deque.hpp"
 
 namespace rap::petri {
 namespace {
 
+using namespace testfx;  // model zoo + differential plumbing
+
 constexpr std::size_t kThreadCounts[] = {2, 4, 8};
 
-// ------------------------------------------------------------ fixtures --
-
-struct Fixture {
-    std::string name;
-    Net net;
-};
-
-/// A depth-`d` token-ring pipeline: d+2 control registers in a loop with
-/// one True token — the smallest live models of the paper's control
-/// style, one per depth 1..6.
-Fixture ring_fixture(int depth) {
-    dfs::Graph g("ring_d" + std::to_string(depth));
-    std::vector<dfs::NodeId> regs;
-    const int n = depth + 2;
-    for (int i = 0; i < n; ++i) {
-        regs.push_back(g.add_control("c" + std::to_string(i), i == 0,
-                                     dfs::TokenValue::True));
-    }
-    for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
-    return {g.name(), dfs::to_petri(g).net};
-}
-
-Fixture wagging_fixture() {
-    dfs::Graph g("wagging");
-    const auto in = g.add_register("in");
-    pipeline::add_wagging_stage(g, "w", in);
-    return {"wagging", dfs::to_petri(g).net};
-}
-
-Fixture static_ope_fixture(int stages) {
-    auto p = ope::build_static_ope_dfs(stages);
-    return {"ope_static_s" + std::to_string(stages),
-            dfs::to_petri(p.graph).net};
-}
-
-Fixture ope_fixture(int stages, int depth) {
-    auto p = ope::build_reconfigurable_ope_dfs(stages, depth);
-    return {"ope_s" + std::to_string(stages) + "_d" + std::to_string(depth),
-            dfs::to_petri(p.graph).net};
-}
-
-/// The gap misconfiguration of Section III-A: stage 2 bypassed under an
-/// active stage 3 — deadlock reachable, so witness paths get exercised.
-Fixture gap_fixture() {
-    auto p = ope::build_reconfigurable_ope_dfs(3, 3);
-    pipeline::reset_ring(p.graph, p.stages[1].global_ring,
-                         dfs::TokenValue::False);
-    return {"ope_gap", dfs::to_petri(p.graph).net};
-}
-
-/// Random nets straight from util::Rng: a few token rings (each live on
-/// its own) joined by random bridge transitions that move tokens across
-/// rings — real choice structure, so random persistence violations and
-/// deadlocks, without degenerating into an instantly-stuck net. Read
-/// arcs sprinkle in level-sensitive enabling. Not necessarily live or
-/// deadlock-free — the safe-enabling semantics is total either way, and
-/// both engines must agree on it exactly.
-Fixture random_fixture(std::uint64_t seed) {
-    util::Rng rng(seed);
-    Net net("rand_" + std::to_string(seed));
-    std::vector<PlaceId> ps;
-    const int rings = 2 + static_cast<int>(rng.below(3));
-    for (int r = 0; r < rings; ++r) {
-        const int len = 2 + static_cast<int>(rng.below(3));
-        std::vector<PlaceId> ring;
-        for (int i = 0; i < len; ++i) {
-            ring.push_back(net.add_place(
-                "r" + std::to_string(r) + "_p" + std::to_string(i),
-                i == 0));
-        }
-        for (int i = 0; i < len; ++i) {
-            const auto t = net.add_transition(
-                "r" + std::to_string(r) + "_t" + std::to_string(i));
-            net.add_input_arc(ring[i], t);
-            net.add_output_arc(t, ring[(i + 1) % len]);
-        }
-        ps.insert(ps.end(), ring.begin(), ring.end());
-    }
-    const int bridges = 2 + static_cast<int>(rng.below(4));
-    for (int b = 0; b < bridges; ++b) {
-        const auto t = net.add_transition("b" + std::to_string(b));
-        const PlaceId from = ps[rng.below(ps.size())];
-        PlaceId to = ps[rng.below(ps.size())];
-        while (to == from) to = ps[rng.below(ps.size())];
-        net.add_input_arc(from, t);
-        net.add_output_arc(t, to);
-        if (rng.chance(0.4)) {
-            PlaceId guard = ps[rng.below(ps.size())];
-            while (guard == from) guard = ps[rng.below(ps.size())];
-            net.add_read_arc(guard, t);
-        }
-    }
-    return {net.name(), std::move(net)};
-}
-
-/// A deep token ring at the Petri level: `n` places in a cycle with
-/// `tokens` evenly spaced tokens. BFS diameter grows with n while layers
-/// stay narrow — the steal-heavy workload the work-stealing scheduler
-/// exists for.
-Fixture deep_ring_fixture(int n, int spacing) {
-    dfs::Graph g("deepring_n" + std::to_string(n) + "_s" +
-                 std::to_string(spacing));
-    std::vector<dfs::NodeId> regs;
-    for (int i = 0; i < n; ++i) {
-        regs.push_back(g.add_control("c" + std::to_string(i),
-                                     i % spacing == 0,
-                                     dfs::TokenValue::True));
-    }
-    for (int i = 0; i < n; ++i) g.connect(regs[i], regs[(i + 1) % n]);
-    return {g.name(), dfs::to_petri(g).net};
-}
-
-// ------------------------------------------------------------- fuzzing --
-
-/// Fork/join topology: a live backbone ring plus random blocks where one
-/// transition forks a token into 2-3 parallel branch chains and a join
-/// transition synchronises them back — real concurrency (wide layers)
-/// and synchronisation (joins starve until every branch arrives).
-Fixture fork_join_fixture(std::uint64_t seed) {
-    util::Rng rng(seed ^ 0xF04BULL);
-    Net net("fuzz_forkjoin_" + std::to_string(seed));
-    const int len = 3 + static_cast<int>(rng.below(3));
-    std::vector<PlaceId> ring;
-    for (int i = 0; i < len; ++i) {
-        ring.push_back(net.add_place("r_p" + std::to_string(i), i == 0));
-    }
-    for (int i = 0; i < len; ++i) {
-        const auto t = net.add_transition("r_t" + std::to_string(i));
-        net.add_input_arc(ring[i], t);
-        net.add_output_arc(t, ring[(i + 1) % len]);
-    }
-    const int blocks = 1 + static_cast<int>(rng.below(2));
-    for (int b = 0; b < blocks; ++b) {
-        const std::string tag = "b" + std::to_string(b);
-        const auto fork = net.add_transition(tag + "_fork");
-        net.add_input_arc(ring[rng.below(ring.size())], fork);
-        const auto join = net.add_transition(tag + "_join");
-        const int branches = 2 + static_cast<int>(rng.below(2));
-        for (int k = 0; k < branches; ++k) {
-            const int hops = 1 + static_cast<int>(rng.below(2));
-            PlaceId prev = net.add_place(
-                tag + "_k" + std::to_string(k) + "_p0", false);
-            net.add_output_arc(fork, prev);
-            for (int h = 1; h <= hops; ++h) {
-                const auto step = net.add_transition(
-                    tag + "_k" + std::to_string(k) + "_t" +
-                    std::to_string(h));
-                const auto next = net.add_place(
-                    tag + "_k" + std::to_string(k) + "_p" +
-                    std::to_string(h), false);
-                net.add_input_arc(prev, step);
-                net.add_output_arc(step, next);
-                prev = next;
-            }
-            net.add_input_arc(prev, join);
-        }
-        net.add_output_arc(join, ring[rng.below(ring.size())]);
-    }
-    return {net.name(), std::move(net)};
-}
-
-/// Bridged mesh topology: a g x g torus of places with a few tokens,
-/// transitions shifting a token right/down, read-arc guards sprinkled
-/// in, plus long-range bridge transitions — dense duplicate edges (many
-/// paths to the same marking), the canonical-min CAS hot case.
-Fixture mesh_fixture(std::uint64_t seed) {
-    util::Rng rng(seed ^ 0x3E5AULL);
-    Net net("fuzz_mesh_" + std::to_string(seed));
-    const int g = 3 + static_cast<int>(rng.below(2));
-    const int tokens = 2 + static_cast<int>(rng.below(2));
-    std::vector<PlaceId> cell;
-    for (int i = 0; i < g * g; ++i) {
-        cell.push_back(
-            net.add_place("m_p" + std::to_string(i), i < tokens));
-    }
-    auto shift = [&](int from, int to, const std::string& name) {
-        const auto t = net.add_transition(name);
-        net.add_input_arc(cell[from], t);
-        net.add_output_arc(t, cell[to]);
-        if (rng.chance(0.2)) {
-            int guard = static_cast<int>(rng.below(cell.size()));
-            while (guard == from) {
-                guard = static_cast<int>(rng.below(cell.size()));
-            }
-            net.add_read_arc(cell[guard], t);
-        }
-    };
-    for (int r = 0; r < g; ++r) {
-        for (int c = 0; c < g; ++c) {
-            const int i = r * g + c;
-            shift(i, r * g + (c + 1) % g, "m_r" + std::to_string(i));
-            shift(i, ((r + 1) % g) * g + c, "m_d" + std::to_string(i));
-        }
-    }
-    const int bridges = static_cast<int>(rng.below(3));
-    for (int b = 0; b < bridges; ++b) {
-        const int from = static_cast<int>(rng.below(cell.size()));
-        int to = static_cast<int>(rng.below(cell.size()));
-        while (to == from) to = static_cast<int>(rng.below(cell.size()));
-        shift(from, to, "m_b" + std::to_string(b));
-    }
-    return {net.name(), std::move(net)};
-}
-
-/// Seeded random model generator cycling through the three topology
-/// classes. Every fixture name embeds the seed, so a differential
-/// mismatch prints exactly what to replay.
-Fixture fuzz_fixture(std::uint64_t seed) {
-    switch (seed % 3) {
-        case 0: return fork_join_fixture(seed);
-        case 1: return mesh_fixture(seed);
-        default: return random_fixture(seed);
-    }
-}
-
-std::vector<Fixture> all_fixtures() {
-    std::vector<Fixture> fixtures;
-    for (int d = 1; d <= 6; ++d) fixtures.push_back(ring_fixture(d));
-    fixtures.push_back(wagging_fixture());
-    fixtures.push_back(static_ope_fixture(2));
-    fixtures.push_back(ope_fixture(3, 3));
-    fixtures.push_back(gap_fixture());
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-        fixtures.push_back(random_fixture(seed));
-    }
-    return fixtures;
-}
-
-// ----------------------------------------------------------- plumbing --
-
-/// Exhaustive multi-property query over `net`: a deadlock goal, a
-/// marked-place goal, full deadlock collection and persistence checking.
-/// Exhaustive passes are where the differential contract promises exact
-/// equality on every counter and set.
-struct QueryBundle {
-    Predicate dead = Predicate::deadlock();
-    Predicate marked;
-    MultiQuery query;
-
-    explicit QueryBundle(const Net& net)
-        : marked(Predicate::marked(net, net.place_name(PlaceId{0}))) {
-        query.goals = {&dead, &marked};
-        query.collect_deadlocks = true;
-        query.check_persistence = true;
-    }
-};
-
-std::vector<Marking> sorted(std::vector<Marking> markings) {
-    std::sort(markings.begin(), markings.end());
-    return markings;
-}
-
-using ViolationKey = std::tuple<Marking, std::uint32_t, std::uint32_t>;
-
-std::vector<ViolationKey> violation_set(
-    const std::vector<PersistenceViolation>& violations) {
-    std::vector<ViolationKey> keys;
-    keys.reserve(violations.size());
-    for (const auto& v : violations) {
-        keys.emplace_back(v.marking, v.fired.value, v.disabled.value);
-    }
-    std::sort(keys.begin(), keys.end());
-    return keys;
-}
-
-/// Replays `trace` from the initial marking; the result must be `end`.
-/// Guards witness reconstruction: a wrong predecessor step produces a
-/// disabled firing or lands on the wrong marking.
-void expect_replays(const Net& net, const Trace& trace, const Marking& end,
-                    const std::string& context) {
-    Marking m = net.initial_marking();
-    for (const TransitionId t : trace.firings) {
-        ASSERT_TRUE(net.is_enabled(m, t))
-            << context << ": witness trace fires disabled "
-            << net.transition_name(t);
-        net.fire(m, t);
-    }
-    EXPECT_EQ(m, end) << context << ": witness trace misses its witness";
-}
+// ------------------------------------------------------ differential --
 
 void expect_equivalent(const Net& net, const MultiResult& seq,
                        const MultiResult& par, const std::string& context) {

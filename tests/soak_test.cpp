@@ -78,6 +78,28 @@ TEST(Soak, FourStageOpeExploresNineteenMillionStates) {
         100.0 * (1.0 - static_cast<double>(result.memory.record_bytes) /
                            static_cast<double>(pre_diet_bytes)),
         result.memory.resident_bytes, result.memory.peak_bytes);
+
+    // The same pass under partial-order reduction: verdicts must hold at
+    // full scale, and the reduced state count is recorded next to the
+    // 19M-state pin so nightly logs track the reduction as the stubborn
+    // heuristic evolves (no pinned count — the ratio is the bench_por /
+    // compare.py --por gate's job).
+    options.por = true;
+    ParallelReachabilityExplorer reduced_explorer(compiled, options);
+    const auto reduced = reduced_explorer.run_query(query);
+    EXPECT_FALSE(reduced.truncated);
+    EXPECT_FALSE(reduced.goals[0].found());
+    EXPECT_TRUE(reduced.deadlocks.empty());
+    EXPECT_TRUE(reduced.por.active);
+    EXPECT_LE(reduced.states_explored, kFourStageOpeStates);
+    std::printf(
+        "soak (por): %zu states (%.2fx reduction), %zu edges, %zu of %zu "
+        "transition firings ignored\n",
+        reduced.states_explored,
+        static_cast<double>(kFourStageOpeStates) /
+            static_cast<double>(reduced.states_explored),
+        reduced.edges_explored, reduced.por.ignored(),
+        reduced.por.enabled_transitions);
 }
 
 }  // namespace

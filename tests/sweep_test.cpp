@@ -135,11 +135,23 @@ TEST(Sweep, ThreeAxisSweepDedupsBeforeCompileAndMatchesSerialRuns) {
         EXPECT_GT(row.memory->records, 0u);
         EXPECT_GT(row.schedule_finish_s, 0.0);
 
+        // Sweeps verify with partial-order reduction on by default; the
+        // pass over these nets carries persistence, so reduction must
+        // at least have been attempted (active), whatever it saved.
+        ASSERT_TRUE(row.por.has_value()) << row.point.label;
+        EXPECT_TRUE(row.por->active) << row.point.label;
+        EXPECT_GT(row.por->expansions, 0u) << row.point.label;
+        EXPECT_GE(row.por->enabled_transitions,
+                  row.por->expanded_transitions)
+            << row.point.label;
+
         // Differential: a serial Design session over the same factory
-        // output, same options shape (sequential engine), must agree
-        // verdict-for-verdict and state-for-state.
+        // output, same options shape (sequential engine, same reduction
+        // default as the sweep), must agree verdict-for-verdict and
+        // state-for-state.
         DesignOptions serial_options = base;
         serial_options.verify.threads = 1;
+        serial_options.verify.por = true;
         const auto design = make_design(
             ope_style_factory(row.point.stages, row.point.depth),
             serial_options);
@@ -319,6 +331,9 @@ TEST(Metrics, SweepExpositionParses) {
           "rap_sweep_queue_depth", "rap_sweep_in_flight",
           "rap_sweep_distinct_models", "rap_sweep_states_total",
           "rap_sweep_states_per_second", "rap_sweep_peak_resident_bytes",
+          "rap_por_active_configs", "rap_por_enabled_transitions_total",
+          "rap_por_expanded_transitions_total",
+          "rap_por_ignored_transitions_total", "rap_por_reduction_ratio",
           "rap_cache_hits_total", "rap_cache_misses_total",
           "rap_cache_hit_rate", "rap_cache_entries"}) {
         EXPECT_TRUE(names.count(required)) << required;
