@@ -79,7 +79,8 @@ Point measure(const Model& m, double true_bias, std::uint64_t items) {
     timing[m.comp.value] = {20e-9, 50e-12};
     asim::TimedSimulator sim(dynamics, timing, tech::VoltageModel{},
                              tech::VoltageSchedule::constant(1.2), 0.0);
-    sim.set_true_bias(true_bias, 7);
+    sim.set_seed(7);
+    sim.set_true_bias(true_bias);
     dfs::State state = dfs::State::initial(m.graph);
     asim::RunLimits limits;
     limits.target_marks = items;

@@ -99,6 +99,10 @@ def main():
     parser.add_argument("--sweep",
                         help="bench_sweep JSON summary to report "
                              "(advisory only, never gated)")
+    parser.add_argument("--mc",
+                        help="bench_mc JSON summary to report "
+                             "(advisory only; reproducibility gates in "
+                             "bench_mc itself via its exit code)")
     parser.add_argument("--min-parallel-speedup", type=float,
                         default=PARALLEL_MIN_SPEEDUP,
                         help="multi-thread scaling floor (gated only on "
@@ -218,6 +222,31 @@ def main():
         elif hit_rate <= 0.0:
             warnings.append("sweep cache hit rate is zero — dedup "
                             "before compile is not engaging")
+
+    if args.mc:
+        # Advisory only: survival and hazard counts are facts about the
+        # fault model, not regressions. The one hard contract — fixed-seed
+        # reproducibility of the aggregate row — is checked inside
+        # bench_mc, whose exit code gates its own CI step; here we just
+        # surface the summary (and a warning if that run flagged trouble).
+        with open(args.mc) as f:
+            mc = json.load(f)
+        ffv = mc.get("first_failure_voltage")
+        print(f"mc campaign (advisory): {mc.get('runs_total')} runs over "
+              f"{mc.get('grid_points')} grid points, "
+              f"survival {mc.get('survival', 0.0):.1%}, "
+              f"{mc.get('hazards_total', 0)} hazards, "
+              f"first failure at "
+              f"{f'{ffv:.2f} V' if ffv is not None else 'none'}, "
+              f"{mc.get('runs_per_second', 0.0):.0f} runs/s in "
+              f"{mc.get('campaign_seconds', 0.0):.2f}s, "
+              f"checksum {mc.get('checksum', '?')}")
+        if not mc.get("reproducible", False):
+            warnings.append("bench_mc: seeded campaign was NOT "
+                            "bit-reproducible (its own job step gates)")
+        elif not mc.get("ok", False):
+            warnings.append("bench_mc reported a problem (see its own "
+                            "job step for the gate)")
 
     for w in warnings:
         print(f"::warning::bench: {w}")

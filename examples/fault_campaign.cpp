@@ -1,0 +1,73 @@
+// Fault-injection Monte-Carlo demo: a seeded flow::Campaign over the
+// 3-stage reconfigurable OPE pipeline, sweeping supply voltage against
+// fault intensity and printing the resulting survival curve — the
+// paper's sub-nominal-voltage robustness story (the chip that keeps
+// working down toward 0.34V) measured statistically instead of by a
+// single run.
+//
+//   $ ./examples/fault_campaign [master_seed]
+//
+// Rerun with the same seed: every number reprints bit-for-bit (the
+// reproducibility contract the campaign checksum certifies). Change the
+// seed: a different realisation of the same curves.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rap/rap.hpp"
+
+int main(int argc, char** argv) {
+    using namespace rap;
+
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+    // Fault model: mild delay jitter everywhere, occasional handshake
+    // drops/double-pulses, rare stuck-ats, plus supply droops arriving
+    // as a Poisson process. fault_scales() sweeps the whole spec.
+    asim::FaultSpec faults;
+    faults.delay_sigma = 0.15;
+    faults.drop_rate = 0.01;
+    faults.duplicate_rate = 0.005;
+    faults.stuck_rate = 5e-4;
+    faults.glitch.rate_hz = 2e5;
+    faults.glitch.droop_v = 0.45;
+    faults.glitch.min_duration_s = 2e-7;
+    faults.glitch.max_duration_s = 1e-6;
+
+    std::printf("campaign: 3-stage OPE, seed %llu\n",
+                static_cast<unsigned long long>(seed));
+    const flow::CampaignSummary summary =
+        flow::Campaign::ope(3)
+            .depths({3})
+            .voltages({1.2, 0.9, 0.7, 0.55, 0.45})
+            .fault_scales({0.0, 1.0, 4.0})
+            .base_faults(faults)
+            .runs(40)
+            .items(16)
+            .seed(seed)
+            .run();
+
+    std::printf("\n%-16s %9s %8s %9s %8s %12s\n", "point", "survival",
+                "frozen", "deadlock", "faults", "E/item [pJ]");
+    for (const flow::CampaignAggregate& row : summary.rows) {
+        std::printf("%-16s %8.0f%% %8zu %9zu %8llu %12.2f\n",
+                    row.point.label.c_str(), 100.0 * row.survival,
+                    row.frozen, row.deadlocks,
+                    static_cast<unsigned long long>(row.faults_injected),
+                    row.completed > 0 ? row.mean_energy_per_item_j * 1e12
+                                      : 0.0);
+    }
+
+    std::printf("\n%zu runs, %.1f%% overall survival\n",
+                summary.runs_total, 100.0 * summary.survival());
+    if (summary.first_failure_voltage) {
+        std::printf("survival curve knee: first failures at %.2f V\n",
+                    *summary.first_failure_voltage);
+    } else {
+        std::printf("no failures anywhere in the grid\n");
+    }
+    std::printf("campaign checksum: %016llx (same seed => same number)\n",
+                static_cast<unsigned long long>(summary.checksum));
+    return 0;
+}

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
     // annotated straight from the session's netlist mapping, so the
     // waveform shows the mapped components' real skews.
     auto sim = design.timed_sim(tech::VoltageSchedule::constant(1.2));
-    sim.set_true_bias(0.5, 99);
+    sim.set_seed(99);
+    sim.set_true_bias(0.5);
     sim.enable_event_trace();
     auto state = design.initial_state();
     asim::RunLimits limits;

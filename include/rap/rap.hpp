@@ -34,6 +34,7 @@
 #include "rap/verify/cache.hpp"
 #include "rap/verify/spec.hpp"
 #include "rap/verify/verifier.hpp"
+#include "rap/verify/witness.hpp"
 
 // structure builders + workloads
 #include "rap/ope/dfs_models.hpp"
@@ -42,6 +43,7 @@
 #include "rap/pipeline/wagging.hpp"
 
 // implementation + measurement
+#include "rap/asim/faults.hpp"
 #include "rap/asim/timed_sim.hpp"
 #include "rap/asim/vcd.hpp"
 #include "rap/chip/chip.hpp"
@@ -53,7 +55,8 @@
 #include "rap/perf/throughput.hpp"
 #include "rap/tech/voltage.hpp"
 
-// the session facade + batch sweep service
+// the session facade + batch sweep/campaign services
+#include "rap/flow/campaign.hpp"
 #include "rap/flow/design.hpp"
 #include "rap/flow/metrics.hpp"
 #include "rap/flow/sweep.hpp"

@@ -13,7 +13,10 @@ namespace rap::asim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-}
+/// Sub-stream tag of the free-choice bias coin (see util::stream_seed);
+/// the fault streams have their own tags inside asim/faults.cpp.
+constexpr std::uint64_t kStreamBias = 0x62696173ULL;  // "bias"
+}  // namespace
 
 TimingMap uniform_timing(const dfs::Graph& graph, double delay_s,
                          double energy_j) {
@@ -61,9 +64,14 @@ TimedSimulator::TimedSimulator(const dfs::Dynamics& dynamics,
     }
 }
 
-void TimedSimulator::set_true_bias(double bias, std::uint64_t seed) {
-    true_bias_ = bias;
-    bias_seed_ = seed;
+void TimedSimulator::set_seed(std::uint64_t seed) { seed_ = seed; }
+
+void TimedSimulator::set_true_bias(double bias) { true_bias_ = bias; }
+
+void TimedSimulator::set_faults(FaultSpec spec) { faults_ = spec; }
+
+void TimedSimulator::set_stimulus(std::vector<dfs::Event> forced) {
+    stimulus_ = std::move(forced);
 }
 
 void TimedSimulator::enable_power_trace(double bin_s) {
@@ -78,22 +86,28 @@ TimedStats TimedSimulator::run(dfs::State& state, const RunLimits& limits) {
     const dfs::Graph& graph = dynamics_->graph();
     TimedStats stats;
     stats.marks.assign(graph.node_count(), 0);
-    util::Rng rng(bias_seed_);
+    util::Rng bias_rng(util::stream_seed(seed_, kStreamBias));
+    FaultRealization faults(faults_, seed_, graph.node_count());
 
     // enabled_since per event (kInf = disabled), plus a compact list of
     // candidate indices with lazy deletion so the arbitration scan only
-    // touches currently-enabled events.
+    // touches currently-enabled events. work_scale holds the jitter
+    // factor drawn when the event last became enabled.
     std::vector<double> enabled_since(events_.size(), kInf);
+    std::vector<double> work_scale(events_.size(), 1.0);
     std::vector<char> in_list(events_.size(), 0);
     std::vector<std::uint32_t> candidates;
     double now = 0.0;
 
     auto refresh_node = [&](std::uint32_t node) {
+        const bool is_stuck = faults.stuck(node);
         for (std::uint32_t i = node_event_begin_[node];
              i < node_event_begin_[node + 1]; ++i) {
-            const bool enabled = dynamics_->is_enabled(state, events_[i]);
+            const bool enabled =
+                !is_stuck && dynamics_->is_enabled(state, events_[i]);
             if (enabled && enabled_since[i] == kInf) {
                 enabled_since[i] = now;
+                work_scale[i] = faults.draw_work_scale();
                 if (!in_list[i]) {
                     in_list[i] = 1;
                     candidates.push_back(i);
@@ -105,6 +119,34 @@ TimedStats TimedSimulator::run(dfs::State& state, const RunLimits& limits) {
     };
     for (std::uint32_t n = 0; n < graph.node_count(); ++n) refresh_node(n);
 
+    /// Nominal-speed work of event i as currently enabled (completion
+    /// daisy-chain cost is read off the live state, jitter off the
+    /// factor drawn at enabling).
+    auto event_work = [&](std::uint32_t i) {
+        const NodeTiming& t = timing_[events_[i].node.value];
+        double work = t.delay_s;
+        if (t.delay_per_true_input_s > 0) {
+            int real_inputs = 0;
+            for (const dfs::NodeId p : graph.preset(events_[i].node)) {
+                if (!graph.is_logic(p) && state.marked_true(graph, p)) {
+                    ++real_inputs;
+                }
+            }
+            work += t.delay_per_true_input_s * real_inputs;
+        }
+        return work * work_scale[i];
+    };
+
+    /// Event index of a forced stimulus event (UINT32_MAX when the node
+    /// has no such phase — a malformed stimulus).
+    auto find_event = [&](const dfs::Event& e) -> std::uint32_t {
+        for (std::uint32_t i = node_event_begin_[e.node.value];
+             i < node_event_begin_[e.node.value + 1]; ++i) {
+            if (events_[i].kind == e.kind) return i;
+        }
+        return UINT32_MAX;
+    };
+
     // Power-trace accumulation.
     std::vector<double> bin_dynamic;  // dynamic energy per bin
     auto record_energy = [&](double t, double joules) {
@@ -114,88 +156,125 @@ TimedStats TimedSimulator::run(dfs::State& state, const RunLimits& limits) {
         bin_dynamic[bin] += joules;
     };
 
+    std::size_t next_forced = 0;
     while (stats.events < limits.max_events) {
         if (limits.target_marks > 0 &&
             stats.marks[limits.observe.value] >= limits.target_marks) {
             break;
         }
 
-        // Earliest completion among enabled events (compacting the
-        // candidate list as we go).
+        const bool forcing = next_forced < stimulus_.size();
         double best_time = kInf;
         std::uint32_t best = UINT32_MAX;
-        bool any_enabled = false;
-        for (std::size_t c = 0; c < candidates.size();) {
-            const std::uint32_t i = candidates[c];
-            if (enabled_since[i] == kInf) {
-                in_list[i] = 0;
-                candidates[c] = candidates.back();
-                candidates.pop_back();
-                continue;
+        if (forcing) {
+            // Witness replay: the next stimulus event fires next, at the
+            // time it would normally complete, regardless of races.
+            const std::uint32_t i = find_event(stimulus_[next_forced]);
+            if (i == UINT32_MAX || enabled_since[i] == kInf) {
+                stats.stimulus_stalled = true;
+                break;
             }
-            any_enabled = true;
-            const NodeTiming& t = timing_[events_[i].node.value];
-            double work = t.delay_s;
-            if (t.delay_per_true_input_s > 0) {
-                int real_inputs = 0;
-                for (const dfs::NodeId p :
-                     graph.preset(events_[i].node)) {
-                    if (!graph.is_logic(p) &&
-                        state.marked_true(graph, p)) {
-                        ++real_inputs;
-                    }
+            best = i;
+            best_time = schedule_.finish_time(model_, enabled_since[i],
+                                              event_work(i));
+            if (best_time == kInf) {
+                stats.frozen = true;
+                break;
+            }
+            if (best_time > limits.max_time_s) {
+                now = limits.max_time_s;
+                break;
+            }
+        } else {
+            // Earliest completion among enabled events (compacting the
+            // candidate list as we go).
+            bool any_enabled = false;
+            for (std::size_t c = 0; c < candidates.size();) {
+                const std::uint32_t i = candidates[c];
+                if (enabled_since[i] == kInf) {
+                    in_list[i] = 0;
+                    candidates[c] = candidates.back();
+                    candidates.pop_back();
+                    continue;
                 }
-                work += t.delay_per_true_input_s * real_inputs;
+                any_enabled = true;
+                const double done = schedule_.finish_time(
+                    model_, enabled_since[i], event_work(i));
+                if (done < best_time) {
+                    best_time = done;
+                    best = i;
+                }
+                ++c;
             }
-            const double done =
-                schedule_.finish_time(model_, enabled_since[i], work);
-            if (done < best_time) {
-                best_time = done;
-                best = i;
+            if (!any_enabled) {
+                stats.deadlocked = true;
+                break;
             }
-            ++c;
-        }
-        if (!any_enabled) {
-            stats.deadlocked = true;
-            break;
-        }
-        if (best == UINT32_MAX || best_time > limits.max_time_s) {
-            // All pending work is frozen (or exceeds the time budget).
-            stats.frozen = (best == UINT32_MAX);
-            now = std::min(limits.max_time_s, now);
-            if (!stats.frozen) now = limits.max_time_s;
-            break;
+            if (best == UINT32_MAX || best_time > limits.max_time_s) {
+                // All pending work is frozen (or exceeds the budget).
+                stats.frozen = (best == UINT32_MAX);
+                now = std::min(limits.max_time_s, now);
+                if (!stats.frozen) now = limits.max_time_s;
+                break;
+            }
         }
 
         // Resolve the free-choice polarity race with the configured bias:
         // when both polarities of one control register finish together
-        // conceptually, pick by coin flip instead of timing noise.
+        // conceptually, pick by coin flip instead of timing noise. A
+        // forced stimulus scripts the polarity, so its race is not
+        // re-drawn.
         dfs::Event event = events_[best];
-        if (event.kind == dfs::EventKind::MarkTrue ||
-            event.kind == dfs::EventKind::MarkFalse) {
+        if (!forcing && (event.kind == dfs::EventKind::MarkTrue ||
+                         event.kind == dfs::EventKind::MarkFalse)) {
             const bool is_free_choice =
                 graph.kind(event.node) == dfs::NodeKind::Control &&
                 graph.control_preset(event.node).empty();
             if (is_free_choice) {
-                event.kind = rng.chance(true_bias_)
+                event.kind = bias_rng.chance(true_bias_)
                                  ? dfs::EventKind::MarkTrue
                                  : dfs::EventKind::MarkFalse;
             }
         }
 
         now = best_time;
-        dynamics_->apply(state, event);
-        ++stats.events;
-        if (event_trace_cap_ &&
-            stats.events_log.size() < *event_trace_cap_) {
-            stats.events_log.push_back({now, event});
-        }
-
         const double joules =
             timing_[event.node.value].energy_j *
             model_.energy_factor(schedule_.voltage_at(now));
-        stats.dynamic_energy_j += joules;
-        record_energy(now, joules);
+
+        const FaultRealization::Action action =
+            faults.on_fire(event.node.value);
+        if (action == FaultRealization::Action::kDrop) {
+            // Glitched handshake: the phase's time and energy are spent
+            // but the state change is lost; the event restarts its timer
+            // (and redraws its jitter) to retry.
+            stats.dynamic_energy_j += joules;
+            record_energy(now, joules);
+            enabled_since[best] = now;
+            work_scale[best] = faults.draw_work_scale();
+            continue;
+        }
+
+        dynamics_->apply(state, event);
+        ++stats.events;
+        if (forcing) {
+            ++next_forced;
+            ++stats.stimulus_fired;
+        }
+        if (event_trace_cap_) {
+            if (stats.events_log.size() < *event_trace_cap_) {
+                stats.events_log.push_back({now, event});
+            } else {
+                stats.events_log_truncated = true;
+            }
+        }
+
+        // A duplicated phase dissipates the spurious edge's energy too.
+        const double spent =
+            action == FaultRealization::Action::kDuplicate ? 2 * joules
+                                                           : joules;
+        stats.dynamic_energy_j += spent;
+        record_energy(now, spent);
 
         if (event.kind == dfs::EventKind::Mark ||
             event.kind == dfs::EventKind::MarkTrue ||
@@ -203,12 +282,15 @@ TimedStats TimedSimulator::run(dfs::State& state, const RunLimits& limits) {
             ++stats.marks[event.node.value];
         }
 
+        // A kStuck action froze the node; refresh_node sees it via
+        // faults.stuck() and retires its pending phases with the rest.
         for (const std::uint32_t node : affected_[event.node.value]) {
             refresh_node(node);
         }
     }
 
     stats.time_s = now;
+    stats.faults = faults.counts();
     stats.leakage_energy_j =
         schedule_.leakage_energy(model_, leakage_gates_, 0.0, now);
 

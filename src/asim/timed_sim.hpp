@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "asim/faults.hpp"
 #include "dfs/dynamics.hpp"
 #include "tech/voltage.hpp"
 
@@ -68,6 +69,16 @@ struct TimedStats {
     std::vector<std::uint64_t> marks;  ///< tokens latched per node
     std::vector<PowerSample> trace;    ///< filled when tracing enabled
     std::vector<TimedEvent> events_log;  ///< filled when event tracing on
+    /// The event trace hit its cap and later events were not recorded —
+    /// set so consumers (VCD export, witness confirmation) can tell a
+    /// complete log from a silently clipped one.
+    bool events_log_truncated = false;
+    /// Faults the run actually injected (all zero without set_faults).
+    FaultCounts faults;
+    /// Forced-order stimulus progress (see set_stimulus): events of the
+    /// stimulus fired, and whether replay stalled on a never-enabled one.
+    std::uint64_t stimulus_fired = 0;
+    bool stimulus_stalled = false;
 
     double total_energy_j() const {
         return dynamic_energy_j + leakage_energy_j;
@@ -90,18 +101,40 @@ public:
                    tech::VoltageModel model, tech::VoltageSchedule schedule,
                    double leakage_gates);
 
+    /// Master seed of the run's every stochastic stream: free-choice
+    /// bias arbitration and each fault-injection dice derive their own
+    /// sub-stream from it via util::stream_seed, so one seed makes a
+    /// whole run — biases, jitter, drops, stuck-ats — bit-reproducible.
+    void set_seed(std::uint64_t seed);
+
     /// Biases free-choice control registers (no upstream controls): the
     /// probability that the True polarity wins the race. Implemented as a
     /// per-arrival random pick, modelling the data distribution at a
-    /// `cond` predicate.
-    void set_true_bias(double bias, std::uint64_t seed = 1);
+    /// `cond` predicate. The pick stream derives from set_seed.
+    void set_true_bias(double bias);
+
+    /// Arms fault injection: each run realises `spec` from the master
+    /// seed (fresh dice per run). Pass a default-constructed spec to
+    /// disarm. Supply glitches are NOT realised here — splice them into
+    /// the voltage schedule with asim::splice_glitches.
+    void set_faults(FaultSpec spec);
+
+    /// Forces the next run to fire exactly this event order while the
+    /// list lasts (witness replay: a verifier counterexample as a timed
+    /// stimulus). Each forced event fires at the time it would normally
+    /// complete; free-choice races obey the scripted polarity instead of
+    /// the bias coin. If a forced event is not enabled when its turn
+    /// comes the run stops with TimedStats::stimulus_stalled. After the
+    /// list is exhausted the run continues under normal arbitration.
+    void set_stimulus(std::vector<dfs::Event> forced);
 
     /// Enables power-trace sampling with the given bin width.
     void enable_power_trace(double bin_s);
 
     /// Records every fired event with its timestamp into
     /// TimedStats::events_log (feeds the VCD waveform exporter). Capped
-    /// at `max_events` entries to bound memory.
+    /// at `max_events` entries to bound memory; when the cap clips the
+    /// log, TimedStats::events_log_truncated says so.
     void enable_event_trace(std::size_t max_events = 1'000'000);
 
     TimedStats run(dfs::State& state, const RunLimits& limits);
@@ -118,7 +151,9 @@ private:
     tech::VoltageSchedule schedule_;
     double leakage_gates_;
     double true_bias_ = 0.5;
-    std::uint64_t bias_seed_ = 1;
+    std::uint64_t seed_ = 1;
+    FaultSpec faults_;
+    std::vector<dfs::Event> stimulus_;
     std::optional<double> trace_bin_s_;
     std::optional<std::size_t> event_trace_cap_;
 

@@ -57,6 +57,13 @@ double VoltageSchedule::voltage_at(double t) const {
     return v;
 }
 
+std::vector<std::pair<double, double>> VoltageSchedule::breakpoints() const {
+    std::vector<std::pair<double, double>> out;
+    out.reserve(segments_.size());
+    for (const Segment& s : segments_) out.emplace_back(s.start, s.voltage);
+    return out;
+}
+
 double VoltageSchedule::finish_time(const VoltageModel& model, double t0,
                                     double work) const {
     if (work <= 0) return t0;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <utility>
 #include <vector>
 
 namespace rap::tech {
@@ -56,6 +57,16 @@ public:
     void add_segment(double duration_s, double v);
 
     double voltage_at(double t) const;
+
+    /// The piecewise-constant breakpoints as (start time, voltage) pairs,
+    /// sorted by start. Exposed so overlays (the fault injector's
+    /// droop/glitch splicing) can rebuild a schedule without losing the
+    /// base supply's own transitions.
+    std::vector<std::pair<double, double>> breakpoints() const;
+
+    /// End time of the last appended segment — the horizon after which
+    /// the final voltage holds forever.
+    double duration() const noexcept { return cursor_; }
 
     /// Time at which an amount of `work` (expressed in nominal-speed
     /// seconds) completes when started at time t0, integrating the speed

@@ -62,6 +62,14 @@ bool Rng::chance(double p) noexcept {
     return uniform() < p;
 }
 
+std::uint64_t stream_seed(std::uint64_t master, std::uint64_t stream) noexcept {
+    // Mix the stream tag through the master so that nearby (master,
+    // stream) pairs land in well-separated splitmix sequences.
+    std::uint64_t x = master ^ (stream * 0x9e3779b97f4a7c15ULL);
+    (void)splitmix64(x);
+    return splitmix64(x);
+}
+
 Rng Rng::split() noexcept {
     Rng child(0);
     for (auto& lane : child.s_) lane = (*this)();

@@ -46,4 +46,11 @@ private:
     std::uint64_t s_[4];
 };
 
+/// Derives the seed of a named sub-stream from a master seed — the
+/// campaign -> run -> purpose fan-out of the Monte-Carlo harness. A pure
+/// function of its arguments (two rounds of splitmix64 mixing), so any
+/// worker can reconstruct any stream without shared RNG state and the
+/// result never depends on scheduling order.
+std::uint64_t stream_seed(std::uint64_t master, std::uint64_t stream) noexcept;
+
 }  // namespace rap::util

@@ -71,6 +71,8 @@ void Verifier::fill_traces(Finding& finding,
     for (const auto t : trace.firings) {
         finding.trace.push_back(tr.net.transition_name(t));
         finding.dfs_trace.push_back(tr.describe_transition(*graph_, t));
+        const auto& ev = tr.event(t);
+        finding.event_trace.push_back({ev.node, ev.kind});
     }
 }
 

@@ -44,6 +44,11 @@ struct Finding {
     /// instead of "Mf_filt+") — the debugging aid of Section III-A,
     /// aligned entry-for-entry with `trace`.
     std::vector<std::string> dfs_trace;
+    /// The witness as typed DFS events, aligned entry-for-entry with
+    /// `trace` — machine-readable (unlike dfs_trace) so it can feed
+    /// TimedSimulator::set_stimulus directly for witness replay on the
+    /// timed simulator.
+    std::vector<dfs::Event> event_trace;
 
     std::string to_string() const;
 };

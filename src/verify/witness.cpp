@@ -1,0 +1,57 @@
+#include "verify/witness.hpp"
+
+#include <stdexcept>
+
+namespace rap::verify {
+
+WitnessReplay replay_events_on_net(const dfs::Dynamics& dynamics,
+                                   const dfs::Translation& translation,
+                                   std::span<const dfs::Event> events) {
+    const dfs::Graph& graph = dynamics.graph();
+    WitnessReplay out;
+    out.final_state = dfs::State::initial(graph);
+    out.final_marking = translation.net.initial_marking();
+
+    for (const dfs::Event& e : events) {
+        const std::string label =
+            graph.node_name(e.node) + "/" + std::string(to_string(e.kind));
+        if (!dynamics.is_enabled(out.final_state, e)) {
+            out.detail = "event " + label +
+                         " not enabled on the DFS dynamics after " +
+                         std::to_string(out.fired) + " events";
+            return out;
+        }
+        // Unmark of a dynamic register splits into Mt-/Mf- on the net;
+        // the polarity is whatever token the register carries right now.
+        const bool token_true = out.final_state.token_true(e.node);
+        petri::TransitionId t;
+        try {
+            t = translation.transition_for(graph, e, token_true);
+        } catch (const std::invalid_argument& ex) {
+            out.detail = ex.what();
+            return out;
+        }
+        if (!translation.net.is_enabled(out.final_marking, t)) {
+            out.detail = "transition " +
+                         translation.net.transition_name(t) +
+                         " not enabled on the Petri net after " +
+                         std::to_string(out.fired) +
+                         " events — the semantics diverged";
+            return out;
+        }
+        dynamics.apply(out.final_state, e);
+        translation.net.fire(out.final_marking, t);
+        ++out.fired;
+    }
+
+    out.ok = true;
+    out.marking_agrees =
+        translation.encode(graph, out.final_state) == out.final_marking;
+    if (!out.marking_agrees) {
+        out.detail = "replay succeeded but the final marking disagrees "
+                     "with the encoded final state";
+    }
+    return out;
+}
+
+}  // namespace rap::verify

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "dfs/dynamics.hpp"
+#include "dfs/state.hpp"
+#include "dfs/translate.hpp"
+
+namespace rap::verify {
+
+/// Result of replaying a DFS event sequence on the translated Petri net
+/// — the bridge between the timed simulator's event log and the
+/// verifier's reachability semantics. A full replay is a constructive
+/// proof that the sequence (and hence its final state) is PN-reachable.
+struct WitnessReplay {
+    bool ok = false;           ///< every event fired on both semantics
+    std::size_t fired = 0;     ///< events fired before success/divergence
+    std::string detail;        ///< failure description (empty when ok)
+    dfs::State final_state;    ///< DFS state after the fired prefix
+    petri::Marking final_marking;  ///< PN marking after the fired prefix
+
+    /// The final marking agrees with the encoding of the final state —
+    /// the bisimulation invariant, checked on every successful replay.
+    bool marking_agrees = false;
+};
+
+/// Replays `events` from the graph's initial state, firing each event on
+/// the DFS dynamics AND its translated transition on the Petri net in
+/// lockstep. Diverges (ok = false) when an event is not enabled on
+/// either side or has no PN transition. Unmark of a dynamic register
+/// resolves to Mt-/Mf- by the token polarity the DFS state carries at
+/// that moment, so callers need no polarity bookkeeping of their own.
+///
+/// Use with verify::Finding::event_trace to turn a model-checker
+/// counterexample into a timed-sim stimulus (TimedSimulator::
+/// set_stimulus), or with a timed-sim event log (TimedEvent::event) to
+/// confirm a hazardous simulation trace reaches a PN-reachable marking.
+WitnessReplay replay_events_on_net(const dfs::Dynamics& dynamics,
+                                   const dfs::Translation& translation,
+                                   std::span<const dfs::Event> events);
+
+}  // namespace rap::verify

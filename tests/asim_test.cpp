@@ -184,7 +184,8 @@ TEST(TimedSim, TrueBiasSteersBypassFraction) {
     const auto m = make_fig1b();
     const Dynamics dyn(m.graph);
     auto sim = make_sim(dyn, uniform_timing(m.graph, 1.0));
-    sim.set_true_bias(0.2, 42);
+    sim.set_seed(42);
+    sim.set_true_bias(0.2);
     State s = State::initial(m.graph);
     RunLimits limits;
     limits.target_marks = 400;

@@ -234,6 +234,36 @@ TEST(PorReduction, DeadlockPassShrinksTheOpeModels) {
     }
 }
 
+TEST(PorReduction, FiveStageOpeReducedPassFitsTierOne) {
+    // Promoted from the soak tier (ROADMAP follow-up (e)): the FULL
+    // 5-stage reconfigurable OPE is far beyond the 19M-state 4-stage
+    // soak, but its reduced deadlock pass explores ~11k states in
+    // milliseconds — so the deepest configuration's liveness verdict now
+    // runs on every tier-1 ctest instead of once a night. The bound
+    // below is a regression tripwire for the stubborn heuristic, ~10x
+    // above the measured count without letting the pass grow soak-sized.
+    const Fixture fixture = ope_fixture(5, 5);
+    const CompiledNet compiled(fixture.net);
+    MultiQuery query;
+    const Predicate dead = Predicate::deadlock();
+    query.goals = {&dead};
+    query.collect_deadlocks = true;
+
+    const auto red = reduced_run(compiled, query, 1);
+    ASSERT_FALSE(red.truncated);
+    EXPECT_FALSE(red.goals[0].found()) << "5-stage OPE deadlocked";
+    EXPECT_TRUE(red.deadlocks.empty());
+    EXPECT_TRUE(red.por.active);
+    EXPECT_GT(red.por.ignored(), 0u);
+    EXPECT_LT(red.states_explored, 120'000u)
+        << "reduced 5-stage graph grew an order of magnitude — the "
+           "stubborn heuristic regressed";
+
+    // Deterministic reduced graph across engines and thread counts.
+    const auto red4 = reduced_run(compiled, query, 4);
+    expect_same_reduced_graph(red, red4, fixture.name + " @4t");
+}
+
 // ------------------------------------------------------- stats surface --
 
 TEST(PorStats, InactiveWhenOff) {
