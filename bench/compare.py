@@ -103,6 +103,12 @@ def main():
                         help="bench_mc JSON summary to report "
                              "(advisory only; reproducibility gates in "
                              "bench_mc itself via its exit code)")
+    parser.add_argument("--incremental",
+                        help="bench_incremental JSON summary to report "
+                             "(advisory only; the scratch/incremental "
+                             "differential and the intern-ratio ceiling "
+                             "gate in bench_incremental itself via its "
+                             "exit code)")
     parser.add_argument("--min-parallel-speedup", type=float,
                         default=PARALLEL_MIN_SPEEDUP,
                         help="multi-thread scaling floor (gated only on "
@@ -247,6 +253,33 @@ def main():
         elif not mc.get("ok", False):
             warnings.append("bench_mc reported a problem (see its own "
                             "job step for the gate)")
+
+    if args.incremental:
+        # Advisory only: the timings are machine facts, and the two hard
+        # contracts (scratch/incremental bit-equality, intern-ratio
+        # ceiling) already gate bench_incremental's own CI step. Here we
+        # surface the summary and flag anything that looks off.
+        with open(args.incremental) as f:
+            inc = json.load(f)
+        ratio = inc.get("intern_ratio", 0.0)
+        print(f"incremental re-verification (advisory): "
+              f"{len(inc.get('depths', []))} configurations, "
+              f"scratch sweep {inc.get('scratch_total_s', 0.0) * 1e3:.1f}ms "
+              f"vs incremental {inc.get('incremental_total_s', 0.0) * 1e3:.1f}ms "
+              f"({inc.get('speedup', 0.0):.2f}x), "
+              f"interned {inc.get('interned_markings')} markings for "
+              f"{inc.get('deepest_states')} deepest-run states "
+              f"({ratio:.2f}x)")
+        if not inc.get("ok", False):
+            warnings.append("bench_incremental reported a problem (its "
+                            "own job step gates)")
+        elif ratio > 1.5:
+            warnings.append(f"incremental sweep interned {ratio:.2f}x the "
+                            "deepest run's markings — store reuse is not "
+                            "engaging")
+        elif inc.get("speedup", 0.0) < 0.9:
+            warnings.append("incremental sweep ran slower than scratch — "
+                            "reuse overhead exceeds its savings")
 
     for w in warnings:
         print(f"::warning::bench: {w}")

@@ -60,6 +60,7 @@ struct CampaignState {
     std::uint64_t items = 1;
     double budget_factor = 8.0;
     bool confirm_hazards = false;
+    double knee_fraction = 0.05;
     Campaign::RunCallback callback;
     std::size_t max_in_flight = 1;
 
@@ -360,9 +361,25 @@ CampaignSummary build_summary(CampaignState& state) {
         summary.completed_total += row.completed;
         summary.hazards_total += row.hazards;
         if (row.completed < row.runs) {
-            if (!summary.first_failure_voltage ||
-                row.point.voltage > *summary.first_failure_voltage) {
-                summary.first_failure_voltage = row.point.voltage;
+            const double failure_fraction =
+                row.runs > 0
+                    ? static_cast<double>(row.runs - row.completed) /
+                          static_cast<double>(row.runs)
+                    : 0.0;
+            if (failure_fraction >= state.knee_fraction) {
+                if (!summary.first_failure_voltage ||
+                    row.point.voltage > *summary.first_failure_voltage) {
+                    summary.first_failure_voltage = row.point.voltage;
+                }
+            } else {
+                // A statistical blip: failures happened, but too few to
+                // call this voltage the knee. Reported separately so the
+                // signal is not lost.
+                ++summary.blip_points;
+                if (!summary.highest_blip_voltage ||
+                    row.point.voltage > *summary.highest_blip_voltage) {
+                    summary.highest_blip_voltage = row.point.voltage;
+                }
             }
         }
         fnv_u64(summary.checksum, row.checksum);
@@ -461,6 +478,15 @@ Campaign& Campaign::confirm_hazards(bool enabled) {
     return *this;
 }
 
+Campaign& Campaign::knee_min_failure_fraction(double fraction) {
+    if (!(fraction >= 0.0 && fraction <= 1.0)) {
+        throw std::invalid_argument(
+            "flow::Campaign: knee_min_failure_fraction must be in [0, 1]");
+    }
+    knee_fraction_ = fraction;
+    return *this;
+}
+
 Campaign& Campaign::workers(std::size_t count) {
     workers_ = count;
     return *this;
@@ -546,6 +572,7 @@ Campaign::Handle Campaign::launch() {
     state->items = items_;
     state->budget_factor = budget_factor_;
     state->confirm_hazards = confirm_hazards_;
+    state->knee_fraction = knee_fraction_;
     state->callback = callback_;
 
     std::size_t workers = workers_;

@@ -82,10 +82,18 @@ struct CampaignSummary {
     std::size_t runs_total = 0;
     std::size_t completed_total = 0;
     std::size_t hazards_total = 0;
-    /// Highest supply voltage at which any run failed (the top of the
-    /// survival curve's knee); nullopt when every run everywhere
-    /// completed.
+    /// Highest supply voltage at which a grid point's failure fraction
+    /// reached knee_min_failure_fraction() (the top of the survival
+    /// curve's knee); nullopt when no point failed that decisively.
+    /// Points with fewer failures are statistical blips and are reported
+    /// through highest_blip_voltage instead of moving the knee.
     std::optional<double> first_failure_voltage;
+    /// Highest supply voltage at which some runs failed but the point's
+    /// failure fraction stayed *below* the knee threshold — the blips
+    /// the knee deliberately ignores; nullopt when there were none.
+    std::optional<double> highest_blip_voltage;
+    /// Grid points counted as blips (failures below the knee threshold).
+    std::size_t blip_points = 0;
     /// FNV-1a over the row checksums in grid order — one number that
     /// must match across reruns with the same master seed.
     std::uint64_t checksum = 0;
@@ -159,6 +167,14 @@ public:
     /// net to confirm PN-reachability (CampaignRun::hazard_confirmed).
     /// Costs an event trace per run; off by default.
     Campaign& confirm_hazards(bool enabled);
+    /// Minimum per-point failure fraction for a point to count toward
+    /// the survival knee (CampaignSummary::first_failure_voltage).
+    /// Default 0.05: a single flaky run out of hundreds at nominal no
+    /// longer drags the knee to the top of the voltage axis — such
+    /// points are reported as blips (highest_blip_voltage/blip_points)
+    /// instead. Pass 0.0 to restore any-failure knee detection; must be
+    /// in [0, 1].
+    Campaign& knee_min_failure_fraction(double fraction);
     /// Worker pool size; 0 (default) = one per hardware thread, capped
     /// at the grid size. Never affects results.
     Campaign& workers(std::size_t count);
@@ -224,6 +240,7 @@ private:
     std::uint64_t items_ = 32;
     double budget_factor_ = 8.0;
     bool confirm_hazards_ = false;
+    double knee_fraction_ = 0.05;
     std::size_t workers_ = 0;
     std::size_t max_in_flight_ = 0;
     RunCallback callback_;

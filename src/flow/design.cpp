@@ -5,6 +5,7 @@
 #include "dfs/dot.hpp"
 #include "netlist/verilog.hpp"
 #include "petri/astg.hpp"
+#include "petri/reuse.hpp"
 
 namespace rap::flow {
 
@@ -93,6 +94,12 @@ void Design::invalidate_all_artifacts() {
     dynamics_.reset();
     netlist_.reset();
     timing_.reset();
+    // A structural edit must not hand cached enabled rows (or a warm
+    // marking table sized for the old structure) to the next pass: drop
+    // the session store so incremental verification restarts clean.
+    // Reconfigurations deliberately do NOT reach here — keeping the
+    // store across initial-marking changes is the whole point.
+    reuse_.reset();
 }
 
 void Design::set_depth(int depth) {
@@ -149,7 +156,14 @@ const petri::CompiledNet& Design::compiled_net() const {
 
 const verify::Verifier& Design::verifier() const {
     if (!verifier_) {
-        verifier_.emplace(graph(), compiled_model(), options_.verify);
+        verify::VerifyOptions vopts = options_.verify;
+        if (options_.incremental && vopts.reuse == nullptr) {
+            if (reuse_ == nullptr) {
+                reuse_ = std::make_shared<petri::ReuseStore>();
+            }
+            vopts.reuse = reuse_;
+        }
+        verifier_.emplace(graph(), compiled_model(), vopts);
     }
     return *verifier_;
 }

@@ -33,6 +33,19 @@ struct DesignOptions {
     verify::VerifyOptions verify{};          ///< state-space cap
     netlist::Library::Options library{};     ///< NCL-D mapping options
     tech::ProcessParams process{};           ///< voltage/leakage model
+    /// Incremental re-verification: the session keeps one
+    /// petri::ReuseStore across reconfigurations (set_depth /
+    /// set_initial / reset_ring), so each verify() after a
+    /// reconfiguration re-claims the markings, witness links and enabled
+    /// rows already resident from earlier passes instead of re-interning
+    /// them. Verdicts, witnesses and counters are bit-identical to
+    /// scratch at the same thread count. A structural edit() drops the
+    /// store (a different structure must not inherit rows; markings
+    /// would survive an attach, but the session conservatively starts
+    /// clean). Ignored when verify.reuse is set explicitly — then the
+    /// caller owns the store's lifecycle (flow::Sweep's shared-store
+    /// mode does this).
+    bool incremental = false;
 };
 
 /// Throws std::invalid_argument if `options` is inconsistent (see
@@ -101,8 +114,13 @@ public:
     // structure is untouched, so only the PN-derived artifacts (which
     // encode the initial marking) are invalidated.
 
-    /// pipeline::set_depth on the wrapped pipeline (throws for
-    /// graph-backed designs or invalid depths).
+    /// pipeline::set_depth on the wrapped pipeline. Throws
+    /// std::logic_error ("set_depth needs a pipeline-backed design") for
+    /// graph-backed designs, std::invalid_argument for an out-of-range
+    /// depth or a bypassed static stage (see pipeline::set_depth). On
+    /// any throw the model, the cached artifacts, revision() and the
+    /// build counters are all untouched — a failed reconfiguration
+    /// leaves the session exactly as it was.
     void set_depth(int depth);
 
     /// dfs::Graph::set_initial with artifact invalidation.
@@ -187,6 +205,14 @@ public:
     /// Bumped on every model mutation (reconfiguration or edit()).
     std::size_t revision() const noexcept { return revision_; }
 
+    /// The session's cross-pass marking store (DesignOptions::
+    /// incremental): null until the first verifier() build, and reset to
+    /// null by edit(). Exposed so tests and benches can read
+    /// interned_markings() / row_invalidations() between passes.
+    const std::shared_ptr<petri::ReuseStore>& reuse_store() const noexcept {
+        return reuse_;
+    }
+
 private:
     dfs::Graph& graph_mut() noexcept;
     void invalidate_marking_artifacts();
@@ -200,6 +226,9 @@ private:
     mutable std::optional<dfs::Dynamics> dynamics_;
     mutable std::shared_ptr<const verify::CompiledModel> model_;
     mutable std::optional<verify::Verifier> verifier_;
+    /// Cross-pass store (DesignOptions::incremental): survives
+    /// reconfiguration invalidation, dropped by edit().
+    mutable std::shared_ptr<petri::ReuseStore> reuse_;
     mutable std::unique_ptr<netlist::Netlist> netlist_;
     mutable std::optional<asim::TimingMap> timing_;
 

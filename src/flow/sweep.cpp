@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "ope/dfs_models.hpp"
+#include "petri/reuse.hpp"
 #include "verify/cache.hpp"
 
 namespace rap::flow {
@@ -41,6 +43,12 @@ struct SweepState {
     double timeout_s = 0.0;
     Sweep::ResultCallback callback;
     std::size_t max_in_flight = 1;
+    /// Shared-store mode: chains of grid indices, one per (stages,
+    /// schedule) pair in grid order. A chain is the scheduling unit —
+    /// its points run on one worker, in depth order, against one
+    /// ReuseStore (explorations sharing a store must be sequenced).
+    /// Empty when the mode is off (points schedule individually).
+    std::vector<std::vector<std::size_t>> chains;
     /// Cache counters at launch, so the metrics snapshot can attribute
     /// hit-rate to this sweep rather than the whole process lifetime.
     verify::CacheStats cache_before;
@@ -70,7 +78,8 @@ namespace {
 
 /// Runs one grid point start to finish. Never throws: every failure mode
 /// maps to a row status.
-SweepResult process_point(SweepState& state, const SweepPoint& point) {
+SweepResult process_point(SweepState& state, const SweepPoint& point,
+                          const std::shared_ptr<petri::ReuseStore>& reuse) {
     SweepResult row;
     row.point = point;
 
@@ -119,6 +128,12 @@ SweepResult process_point(SweepState& state, const SweepPoint& point) {
         // are respected.
         options.verify.threads = 1;
     }
+    if (reuse != nullptr) {
+        // Shared-store chain: this point re-claims what the chain's
+        // earlier depths interned. Sound because the chain runs on one
+        // worker, one point at a time.
+        options.verify.reuse = reuse;
+    }
     const std::function<bool()> user_stop = options.verify.stop;
     options.verify.stop = [&state, deadline, user_stop] {
         return state.cancelled.load(std::memory_order_relaxed) ||
@@ -162,47 +177,64 @@ SweepResult process_point(SweepState& state, const SweepPoint& point) {
     return row;
 }
 
+void run_point(SweepState& state, std::size_t index,
+               const std::shared_ptr<petri::ReuseStore>& reuse) {
+    {
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.gate.wait(lock, [&] {
+            return state.in_flight < state.max_in_flight ||
+                   state.cancelled.load(std::memory_order_relaxed);
+        });
+        ++state.in_flight;
+    }
+
+    SweepResult row = process_point(state, state.grid[index], reuse);
+
+    {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        --state.in_flight;
+        state.states_total += row.states;
+        state.verify_seconds_total += row.verify_seconds;
+        if (row.memory) {
+            state.peak_resident_bytes = std::max(
+                state.peak_resident_bytes, row.memory->peak_bytes);
+        }
+        if (row.por && row.por->active) {
+            ++state.por_active_configs;
+            state.por_enabled_total += row.por->enabled_transitions;
+            state.por_expanded_total += row.por->expanded_transitions;
+        }
+        state.results[index] = std::move(row);
+        ++state.done;
+        // cancel() flips the flag under this same mutex, so once it
+        // returns no further callback can be entered.
+        if (!state.cancelled.load(std::memory_order_relaxed) &&
+            state.callback) {
+            state.callback(state.results[index]);
+        }
+    }
+    state.gate.notify_one();
+}
+
 void worker_loop(const std::shared_ptr<SweepState>& state) {
+    // The scheduling unit is a grid point, or — in shared-store mode — a
+    // whole (stages, schedule) chain whose points share one ReuseStore
+    // and therefore must run one at a time, in depth order.
+    const bool chained = !state->chains.empty();
+    const std::size_t tasks =
+        chained ? state->chains.size() : state->grid.size();
     for (;;) {
-        const std::size_t index =
+        const std::size_t task =
             state->next.fetch_add(1, std::memory_order_relaxed);
-        if (index >= state->grid.size()) return;
-
-        {
-            std::unique_lock<std::mutex> lock(state->mutex);
-            state->gate.wait(lock, [&] {
-                return state->in_flight < state->max_in_flight ||
-                       state->cancelled.load(std::memory_order_relaxed);
-            });
-            ++state->in_flight;
+        if (task >= tasks) return;
+        if (chained) {
+            const auto reuse = std::make_shared<petri::ReuseStore>();
+            for (const std::size_t index : state->chains[task]) {
+                run_point(*state, index, reuse);
+            }
+        } else {
+            run_point(*state, task, nullptr);
         }
-
-        SweepResult row = process_point(*state, state->grid[index]);
-
-        {
-            const std::lock_guard<std::mutex> lock(state->mutex);
-            --state->in_flight;
-            state->states_total += row.states;
-            state->verify_seconds_total += row.verify_seconds;
-            if (row.memory) {
-                state->peak_resident_bytes = std::max(
-                    state->peak_resident_bytes, row.memory->peak_bytes);
-            }
-            if (row.por && row.por->active) {
-                ++state->por_active_configs;
-                state->por_enabled_total += row.por->enabled_transitions;
-                state->por_expanded_total += row.por->expanded_transitions;
-            }
-            state->results[index] = std::move(row);
-            ++state->done;
-            // cancel() flips the flag under this same mutex, so once it
-            // returns no further callback can be entered.
-            if (!state->cancelled.load(std::memory_order_relaxed) &&
-                state->callback) {
-                state->callback(state->results[index]);
-            }
-        }
-        state->gate.notify_one();
     }
 }
 
@@ -442,6 +474,11 @@ Sweep& Sweep::per_config_timeout(double seconds) {
     return *this;
 }
 
+Sweep& Sweep::shared_store(bool enabled) {
+    shared_store_ = enabled;
+    return *this;
+}
+
 Sweep& Sweep::on_result(ResultCallback callback) {
     callback_ = std::move(callback);
     return *this;
@@ -520,12 +557,30 @@ Sweep::Handle Sweep::launch() {
     state->callback = callback_;
     state->cache_before = verify::cache_stats();
 
+    if (shared_store_) {
+        // One chain per (stages, schedule) pair; the grid is ordered
+        // stages -> depth -> schedule, so pushing indices in grid order
+        // leaves each chain sorted by depth.
+        std::map<std::pair<int, std::size_t>, std::size_t> chain_of;
+        for (std::size_t i = 0; i < state->grid.size(); ++i) {
+            const SweepPoint& p = state->grid[i];
+            const auto key = std::make_pair(p.stages, p.schedule);
+            auto it = chain_of.find(key);
+            if (it == chain_of.end()) {
+                it = chain_of.emplace(key, state->chains.size()).first;
+                state->chains.emplace_back();
+            }
+            state->chains[it->second].push_back(i);
+        }
+    }
+
     std::size_t workers = workers_;
     if (workers == 0) {
         workers = std::max(1u, std::thread::hardware_concurrency());
     }
-    workers = std::max<std::size_t>(
-        1, std::min(workers, state->grid.size()));
+    const std::size_t schedulable =
+        shared_store_ ? state->chains.size() : state->grid.size();
+    workers = std::max<std::size_t>(1, std::min(workers, schedulable));
     state->max_in_flight =
         max_in_flight_ > 0 ? std::min(max_in_flight_, workers) : workers;
 

@@ -138,6 +138,18 @@ public:
     Sweep& max_in_flight(std::size_t count);
     /// Wall-clock budget per configuration; <= 0 (default) = none.
     Sweep& per_config_timeout(double seconds);
+    /// Incremental re-verification across the depth axis: grid points
+    /// sharing (stages, schedule) form a chain that runs on ONE worker,
+    /// in depth order, with one shared petri::ReuseStore — each depth's
+    /// verification re-claims the markings and enabled rows the chain's
+    /// earlier depths already interned, so a d=1..N chain costs about as
+    /// much interning as its deepest configuration alone. Verdicts and
+    /// reports are bit-identical to the independent-session default.
+    /// Chains are the unit of scheduling here (distinct chains still run
+    /// in parallel), so a single-chain grid serialises; leave this off
+    /// (the default) when grid-level parallelism matters more than
+    /// cross-depth reuse.
+    Sweep& shared_store(bool enabled);
     /// Streaming sink, invoked from worker threads (serialised — at most
     /// one callback at a time) as rows complete. The callback must not
     /// call back into the Handle (it runs under the sweep's result lock).
@@ -204,6 +216,7 @@ private:
     std::size_t workers_ = 0;
     std::size_t max_in_flight_ = 0;
     double timeout_s_ = 0.0;
+    bool shared_store_ = false;
     ResultCallback callback_;
 };
 

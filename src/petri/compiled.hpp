@@ -51,7 +51,30 @@ class CompiledNet {
 public:
     explicit CompiledNet(const Net& net);
 
+    /// Delta compilation: compile `net` by patching `parent`'s arrays
+    /// instead of packing from scratch. Transitions whose pre/post/read
+    /// arcs match the parent's keep their CSR term rows verbatim (for a
+    /// reconfiguration that only flips initial markings — the flow::Design
+    /// set_depth case — that is *every* row, one bulk copy); changed
+    /// transitions are repacked, and the affected-transition index is
+    /// recomputed only where a changed arc can reach it. Falls back to a
+    /// full build when the place/transition counts differ. The result is
+    /// bit-identical to CompiledNet(net). `parent` (and its net) only
+    /// needs to stay alive for the duration of this constructor.
+    CompiledNet(const Net& net, const CompiledNet& parent);
+
     const Net& net() const noexcept { return *net_; }
+
+    /// FNV-1a digest of the net's structure — place/transition counts and
+    /// every arc, but NOT initial markings. Two nets that differ only in
+    /// initial marking (a run-time reconfiguration) share it; it keys
+    /// marking-store reuse and parent lookup for delta compilation.
+    std::uint64_t structure_digest() const noexcept {
+        return structure_digest_;
+    }
+
+    /// Structure digest of a net without compiling it.
+    static std::uint64_t digest_structure(const Net& net) noexcept;
     std::size_t place_count() const noexcept { return place_count_; }
     std::size_t transition_count() const noexcept {
         return transition_count_;
@@ -96,11 +119,14 @@ private:
         std::uint64_t set_mask;    // produce-arc places in this word
     };
 
+    void build_full(const Net& net);
+
     const Net* net_;
     std::size_t place_count_;
     std::size_t transition_count_;
     std::size_t marking_words_;
     std::size_t enabled_words_;
+    std::uint64_t structure_digest_ = 0;
 
     // Per-transition CSR offsets into the shared term arrays; offsets
     // have transition_count_+1 entries each.

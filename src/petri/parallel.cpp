@@ -9,6 +9,7 @@
 #include <optional>
 #include <thread>
 
+#include "petri/reuse.hpp"
 #include "util/steal_deque.hpp"
 
 namespace rap::petri {
@@ -63,6 +64,12 @@ ConcurrentMarkingStore::ConcurrentMarkingStore(std::size_t marking_words,
         // default 512K-word blocks would cost small models more than
         // the records themselves; 128K keeps the waste a few percent
         // while still amortising allocation at 19M records.
+        arenas_.emplace_back(record_words_, std::size_t{1} << 14);
+    }
+}
+
+void ConcurrentMarkingStore::ensure_workers(std::size_t workers) {
+    while (arenas_.size() < workers) {
         arenas_.emplace_back(record_words_, std::size_t{1} << 14);
     }
 }
@@ -239,7 +246,7 @@ class ParallelPass {
 public:
     ParallelPass(const Net& net, const CompiledNet& compiled,
                  const ReachabilityOptions& options, const MultiQuery& query,
-                 std::size_t workers)
+                 std::size_t workers, ReuseStore* reuse)
         : net_(net),
           compiled_(compiled),
           query_(query),
@@ -250,16 +257,30 @@ public:
           cas_tree_(options.witness_tree ==
                     ReachabilityOptions::WitnessTree::kCanonicalCas),
           stop_(options.stop),
-          diet_(options.frontier_enabled_cache),
+          reuse_(reuse),
+          diet_(options.frontier_enabled_cache && reuse == nullptr),
           stealing_(options.work_stealing),
           por_(make_por(compiled, options, query)),
+          tight_(por_.has_value() && diet_ && !query.check_persistence &&
+                 !por_->proviso_needed()),
           wmeta_words_((cas_tree_ || por_.has_value()) ? 2 : 0),
           erec_off_(mwords_ + wmeta_words_),
-          store_(mwords_, wmeta_words_ + (diet_ ? 0 : twords_), workers),
+          store_(reuse != nullptr
+                     ? reuse->store()
+                     : owned_store_.emplace(
+                           mwords_, wmeta_words_ + (diet_ ? 0 : twords_),
+                           workers)),
           resolved_(query.goals.size(), 0),
           witness_id_(query.goals.size(), ConcurrentMarkingStore::kNone),
           ctx_(workers),
           deques_(workers) {
+        // Reduced passes that never widen (no proviso, no persistence)
+        // only ever expand the ample set, so the diet arenas account
+        // rows at ample width: each row stores [full | ample], computed
+        // once at discovery, and out-edge provisioning counts ample bits
+        // — the reserve no longer sizes tables for a frontier the
+        // reduction will never fire.
+        const std::size_t row_words = twords_ * (tight_ ? 2 : 1);
         for (WorkerCtx& ctx : ctx_) {
             ctx.best.assign(query.goals.size(),
                             ConcurrentMarkingStore::kNone);
@@ -271,8 +292,8 @@ public:
                 // are recycled every other barrier, so the default block
                 // size would pin far more than they ever use.
                 ctx.earena.reserve(2);
-                ctx.earena.emplace_back(twords_, std::size_t{1} << 12);
-                ctx.earena.emplace_back(twords_, std::size_t{1} << 12);
+                ctx.earena.emplace_back(row_words, std::size_t{1} << 12);
+                ctx.earena.emplace_back(row_words, std::size_t{1} << 12);
             }
         }
         unresolved_ = query.goals.size();
@@ -447,7 +468,9 @@ private:
                           TransitionId via) {
         std::uint64_t* record = store_.record_mut(child);
         // Depth is written before the id is published and never again.
-        if (record[mwords_ + 1] != depth_ + 1) return;
+        // Reuse passes track freshness in the claim word instead — their
+        // callers only get here for next-layer states.
+        if (reuse_ == nullptr && record[mwords_ + 1] != depth_ + 1) return;
         std::atomic_ref<std::uint64_t> link(record[mwords_]);
         const std::uint64_t cand =
             (std::uint64_t{via.value} << 32) | parent;
@@ -472,6 +495,94 @@ private:
         }
     }
 
+    /// Reuse-mode insert path of expand_edge: the successor is looked up
+    /// in the shared cross-pass store and *claimed* for this pass's epoch
+    /// — intern's inserted bit no longer distinguishes fresh discoveries
+    /// (records resident from earlier passes are physical duplicates but
+    /// logically new here). The claim winner consumes one unit of the
+    /// max_states budget, writes the witness link, and recomputes the
+    /// enabled row only when the cached one is stale for the attached
+    /// structure; losers treat the state exactly like a scratch
+    /// duplicate. ctx.child holds the successor marking on entry.
+    bool reuse_edge(std::uint32_t head, TransitionId t,
+                    const std::uint64_t* parent_row, std::size_t w,
+                    WorkerCtx& ctx, bool& fresh_seen) {
+        const auto interned =
+            store_.intern(ctx.child.data(), w, provision_cap_, nullptr, 0);
+        if (interned.id == ConcurrentMarkingStore::kNone) {
+            // Physical exhaustion: provisioning capped this layer's
+            // inserts at the remaining claim budget, and every inserted
+            // record's claim completes unconditionally, so the pass ends
+            // with exactly max_states claims — the scratch truncation
+            // contract.
+            truncated_.store(true, std::memory_order_relaxed);
+            abort_now_.store(true, std::memory_order_release);
+            return false;
+        }
+        std::atomic<std::uint64_t>& cl = reuse_->claim(interned.id);
+        const std::uint64_t pending =
+            (epoch_ << 32) | ReuseStore::kPendingDepth;
+        std::uint64_t cur = cl.load(std::memory_order_acquire);
+        while ((cur >> 32) != epoch_) {
+            if (!cl.compare_exchange_weak(cur, pending,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+                continue;
+            }
+            // Claim won: this worker alone publishes the state this pass.
+            // The budget slot is taken after winning so every slot below
+            // cap_ maps to a claim that completes.
+            const std::uint32_t slot =
+                pass_claims_.fetch_add(1, std::memory_order_acq_rel);
+            if (slot >= cap_) {
+                pass_claims_.fetch_sub(1, std::memory_order_acq_rel);
+                cl.store((epoch_ << 32) | ReuseStore::kOverflowDepth,
+                         std::memory_order_release);
+                truncated_.store(true, std::memory_order_relaxed);
+                abort_now_.store(true, std::memory_order_release);
+                return false;
+            }
+            std::uint64_t* record = store_.record_mut(interned.id);
+            // Atomic because same-layer losers may CAS the link
+            // concurrently once the claim publishes below.
+            std::atomic_ref<std::uint64_t>(record[mwords_])
+                .store((std::uint64_t{t.value} << 32) | head,
+                       std::memory_order_relaxed);
+            std::uint64_t* row = record + erec_off_;
+            if (!reuse_->row_valid(interned.id)) {
+                copy_words(row, parent_row, twords_);
+                compiled_.update_enabled(ctx.child.data(), t, row);
+                reuse_->set_row_valid(interned.id);
+            }
+            cl.store((epoch_ << 32) | (depth_ + 1),
+                     std::memory_order_release);
+            fresh_seen = true;
+            ctx.out_edges += enabled_popcount(row);
+            visit(interned.id, row, ctx);
+            ctx.out.push_back(interned.id);
+            ctx.out_rows.push_back(row);
+            return true;
+        }
+        // Already claimed this epoch: a duplicate edge. Wait out a claim
+        // mid-publication so the link and row below it are settled.
+        std::uint32_t d = static_cast<std::uint32_t>(cur);
+        unsigned idle = 0;
+        while (d == ReuseStore::kPendingDepth) {
+            spin_pause(idle++);
+            d = static_cast<std::uint32_t>(
+                cl.load(std::memory_order_acquire));
+        }
+        if (d == ReuseStore::kOverflowDepth) {
+            truncated_.store(true, std::memory_order_relaxed);
+            abort_now_.store(true, std::memory_order_release);
+            return false;
+        }
+        const bool fresh = d == depth_ + 1;
+        if (maintain_tree_ && fresh) cas_witness_link(interned.id, head, t);
+        if (por_ && fresh) fresh_seen = true;
+        return true;
+    }
+
     void expand(std::uint32_t head, const std::uint64_t* enabled,
                 std::size_t w, WorkerCtx& ctx) {
         const std::uint64_t* marking = marking_of(head);
@@ -482,7 +593,23 @@ private:
         bool reduced = false;
         std::size_t enabled_count = 0;
         std::size_t ample_count = 0;
-        if (por_) {
+        if (tight_) {
+            // Tight rows carry [full | ample] with the ample set computed
+            // at discovery; stats are still recorded here, at expansion,
+            // so early-stopped and truncated passes report exactly what
+            // the non-tight engines do.
+            const std::uint64_t* ample_row = enabled + twords_;
+            enabled_count = enabled_popcount(enabled);
+            ample_count = enabled_popcount(ample_row);
+            reduced = std::memcmp(ample_row, enabled,
+                                  twords_ * sizeof(std::uint64_t)) != 0;
+            ++ctx.por.expansions;
+            ctx.por.enabled_transitions += enabled_count;
+            if (reduced) ++ctx.por.reduced_expansions;
+            ctx.por.expanded_transitions +=
+                reduced ? ample_count : enabled_count;
+            bits_src = ample_row;
+        } else if (por_) {
             enabled_count = enabled_popcount(enabled);
             ++ctx.por.expansions;
             ctx.por.enabled_transitions += enabled_count;
@@ -524,12 +651,24 @@ private:
         bool fresh_seen = false;
 
         auto expand_edge = [&](TransitionId t, bool check_edges) -> bool {
+            // Per-worker edge-counter stop poll: the serial layer poll
+            // alone lets one enormous (or heavily reduced) layer blow
+            // straight through a sweep deadline.
+            if (stop_ && (ctx.edges & 255u) == 0 && stop_()) {
+                truncated_.store(true, std::memory_order_relaxed);
+                abort_now_.store(true, std::memory_order_release);
+                return false;
+            }
             ++ctx.edges;
             copy_words(ctx.child.data(), marking, mwords_);
             compiled_.fire(ctx.child.data(), t);
 
             if (check_edges && query_.check_persistence) {
                 check_persistence_edges(head, t, enabled, ctx);
+            }
+
+            if (reuse_ != nullptr) {
+                return reuse_edge(head, t, enabled, w, ctx, fresh_seen);
             }
 
             std::uint64_t meta_init[2];
@@ -573,7 +712,19 @@ private:
                 copy_words(child_enabled, enabled, twords_);
             }
             compiled_.update_enabled(ctx.child.data(), t, child_enabled);
-            ctx.out_edges += enabled_popcount(child_enabled);
+            if (tight_) {
+                // Discovery-time reduction: compute the child's ample
+                // set into the row's second half (out-edge accounting
+                // and the next layer's expansion both read it there).
+                std::uint64_t* ample_row = child_enabled + twords_;
+                if (!por_->reduce(ctx.child.data(), child_enabled,
+                                  ample_row, ctx.por_scratch)) {
+                    copy_words(ample_row, child_enabled, twords_);
+                }
+                ctx.out_edges += enabled_popcount(ample_row);
+            } else {
+                ctx.out_edges += enabled_popcount(child_enabled);
+            }
             visit(interned.id, child_enabled, ctx);
             ctx.out.push_back(interned.id);
             ctx.out_rows.push_back(child_enabled);
@@ -748,6 +899,19 @@ private:
         return bytes;
     }
 
+    /// Serial reuse-mode provisioning: the next layer can insert at most
+    /// min(out-edge count, remaining claim budget) new records into the
+    /// shared store — capping physical growth at the budget is what makes
+    /// physical-exhaustion truncation land on exactly max_states claims.
+    void provision_layer(std::size_t out_edges) {
+        const std::size_t claimed =
+            pass_claims_.load(std::memory_order_relaxed);
+        const std::size_t budget_left = cap_ - std::min(cap_, claimed);
+        provision_cap_ = store_.size() + std::min(out_edges, budget_left);
+        store_.reserve(provision_cap_);
+        reuse_->ensure_capacity(provision_cap_);
+    }
+
     /// Serial between-layers step, run by the barrier's completion while
     /// every worker is parked: stitches the next frontier, provisions the
     /// store, settles this layer's goal hits, and decides whether the
@@ -823,7 +987,11 @@ private:
             return;
         }
 
-        store_.reserve(std::min(store_.size() + out_edges, cap_));
+        if (reuse_ != nullptr) {
+            provision_layer(out_edges);
+        } else {
+            store_.reserve(std::min(store_.size() + out_edges, cap_));
+        }
         prepare_frontier_schedule();
     }
 
@@ -938,6 +1106,10 @@ private:
     const std::size_t workers_;
     const bool cas_tree_;   ///< canonical-CAS witness mode (vs re-sweep)
     const std::function<bool()> stop_;  ///< cooperative stop hook
+    /// Shared cross-pass store (incremental re-verification), or null
+    /// for a scratch pass. Forces diet_ off: rows must live in the
+    /// records to survive the pass.
+    ReuseStore* const reuse_;
     const bool diet_;       ///< frontier-only enabled-set cache
     const bool stealing_;   ///< deque scheduling (vs atomic cursor)
     /// Stubborn-set reduction of this pass (options.por); absent when off
@@ -945,10 +1117,24 @@ private:
     /// meta words: the depth word is the freshness test of the ignoring
     /// proviso, mirroring the sequential engine's id watermark.
     const std::optional<PorContext> por_;
+    /// Ample-width diet accounting: reduction on, never widened (no
+    /// proviso, no persistence) — rows are [full | ample] pairs and
+    /// out-edge provisioning counts ample bits only.
+    const bool tight_;
     const std::size_t wmeta_words_;  ///< witness meta words per record
     const std::size_t erec_off_;     ///< in-record enabled offset (!diet_)
 
-    ConcurrentMarkingStore store_;
+    /// The pass's private store (scratch mode); reuse passes bind store_
+    /// to the ReuseStore's shared one instead.
+    std::optional<ConcurrentMarkingStore> owned_store_;
+    ConcurrentMarkingStore& store_;
+    std::uint64_t epoch_ = 0;  ///< reuse pass epoch (claims' high half)
+    /// Records claimed (= states reached) this pass — reuse mode's
+    /// states_explored and its truncation budget.
+    std::atomic<std::uint32_t> pass_claims_{0};
+    /// Physical intern cap for the current layer (reuse mode): resident
+    /// records + the layer's insert bound, set serially.
+    std::size_t provision_cap_ = 0;
     std::vector<std::uint32_t> frontier_;
     /// Enabled-set row per frontier index, stitched at the barrier.
     std::vector<const std::uint64_t*> frontier_rows_;
@@ -982,28 +1168,58 @@ private:
 
 MultiResult ParallelPass::run() {
     // Root state, interned and evaluated serially (depth 0).
-    store_.reserve(std::min<std::size_t>(1, cap_));
     const Marking m0 = net_.initial_marking();
     copy_words(ctx_[0].child.data(), m0.word_data(), m0.word_count());
-    const std::uint64_t root_meta[2] = {
-        std::uint64_t{ConcurrentMarkingStore::kNone}, 0};
-    const auto root = store_.intern(ctx_[0].child.data(), 0, cap_,
-                                    root_meta, wmeta_words_);
+    std::uint32_t root_id;
     std::uint64_t* root_enabled;
-    if (diet_) {
-        util::WordArena& arena = ctx_[0].earena[1 - write_parity_];
-        root_enabled = arena[arena.push_zero()];
+    if (reuse_ != nullptr) {
+        epoch_ = reuse_->begin_pass();
+        provision_cap_ = store_.size() + 1;
+        store_.reserve(provision_cap_);
+        reuse_->ensure_capacity(provision_cap_);
+        const auto root = store_.intern(ctx_[0].child.data(), 0,
+                                        provision_cap_, nullptr, 0);
+        root_id = root.id;
+        pass_claims_.store(1, std::memory_order_relaxed);
+        reuse_->claim(root_id).store(epoch_ << 32,
+                                     std::memory_order_relaxed);
+        std::uint64_t* record = store_.record_mut(root_id);
+        record[mwords_] = std::uint64_t{ConcurrentMarkingStore::kNone};
+        root_enabled = record + erec_off_;
+        if (!reuse_->row_valid(root_id)) {
+            compiled_.enabled_set(record, root_enabled);
+            reuse_->set_row_valid(root_id);
+        }
     } else {
-        root_enabled = store_.record_mut(root.id) + erec_off_;
+        store_.reserve(std::min<std::size_t>(1, cap_));
+        const std::uint64_t root_meta[2] = {
+            std::uint64_t{ConcurrentMarkingStore::kNone}, 0};
+        const auto root = store_.intern(ctx_[0].child.data(), 0, cap_,
+                                        root_meta, wmeta_words_);
+        root_id = root.id;
+        if (diet_) {
+            util::WordArena& arena = ctx_[0].earena[1 - write_parity_];
+            root_enabled = arena[arena.push_zero()];
+        } else {
+            root_enabled = store_.record_mut(root_id) + erec_off_;
+        }
+        compiled_.enabled_set(store_[root_id], root_enabled);
+        if (tight_) {
+            std::uint64_t* ample_row = root_enabled + twords_;
+            if (!por_->reduce(store_[root_id], root_enabled, ample_row,
+                              ctx_[0].por_scratch)) {
+                copy_words(ample_row, root_enabled, twords_);
+            }
+        }
     }
-    compiled_.enabled_set(store_[root.id], root_enabled);
-    visit(root.id, root_enabled, ctx_[0]);
-    frontier_.push_back(root.id);
+    visit(root_id, root_enabled, ctx_[0]);
+    frontier_.push_back(root_id);
     frontier_rows_.push_back(root_enabled);
     // Settle root hits exactly like a layer boundary would (depth 0, so
     // compensate the depth bump layer_done() applies).
     {
-        const std::size_t root_out = enabled_popcount(root_enabled);
+        const std::size_t root_out = enabled_popcount(
+            tight_ ? root_enabled + twords_ : root_enabled);
         for (std::size_t g = 0; g < resolved_.size(); ++g) {
             const std::uint32_t hit = ctx_[0].best[g];
             ctx_[0].best[g] = ConcurrentMarkingStore::kNone;
@@ -1015,7 +1231,11 @@ MultiResult ParallelPass::run() {
         if ((can_early_stop_ && unresolved_ == 0) || root_out == 0) {
             return assemble();  // nothing to explore / nothing left to ask
         }
-        store_.reserve(std::min(1 + root_out, cap_));
+        if (reuse_ != nullptr) {
+            provision_layer(root_out);
+        } else {
+            store_.reserve(std::min(1 + root_out, cap_));
+        }
         prepare_frontier_schedule();
     }
 
@@ -1053,7 +1273,13 @@ MultiResult ParallelPass::assemble() {
     }
 
     MultiResult result;
-    result.states_explored = store_.size();
+    // Reuse passes count the states *this pass* reached (its claims),
+    // not the shared store's resident records — identical to what the
+    // scratch pass reports, including exact max_states on truncation.
+    result.states_explored =
+        reuse_ != nullptr
+            ? pass_claims_.load(std::memory_order_acquire)
+            : store_.size();
     result.truncated = truncated_.load(std::memory_order_acquire);
     result.por.active = por_.has_value();
     for (const WorkerCtx& ctx : ctx_) {
@@ -1172,7 +1398,17 @@ MultiResult ParallelReachabilityExplorer::run_query(
         ReachabilityExplorer sequential(*compiled_, options_);
         return sequential.run_query(query);
     }
-    ParallelPass pass(net_, *compiled_, options_, query, threads_);
+    // Cross-pass reuse needs the canonical-CAS record layout (witness
+    // meta + resident rows); other modes — and a store whose dimensions
+    // don't match this net — fall back to a scratch pass.
+    ReuseStore* reuse = nullptr;
+    if (options_.reuse &&
+        options_.witness_tree ==
+            ReachabilityOptions::WitnessTree::kCanonicalCas &&
+        options_.reuse->attach(*compiled_, threads_)) {
+        reuse = options_.reuse.get();
+    }
+    ParallelPass pass(net_, *compiled_, options_, query, threads_, reuse);
     return pass.run();
 }
 

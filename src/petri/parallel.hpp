@@ -73,6 +73,12 @@ public:
                         const std::uint64_t* meta_init = nullptr,
                         std::size_t meta_init_words = 0);
 
+    /// Serial: grows the per-worker arena set so `workers` workers can
+    /// intern. Existing arenas (and every record in them) are untouched —
+    /// the ReuseStore re-attach hook for a pass wider than the store's
+    /// construction.
+    void ensure_workers(std::size_t workers);
+
     /// Serial (between-layers): ensures the table and the id->record
     /// index can absorb `needed` records without any mid-layer growth.
     /// Rehashing recomputes record hashes instead of caching one word
@@ -140,7 +146,19 @@ private:
 ///    is no overshoot slack).
 ///  - with stop_at_first_match (or persistence_stop_at_first) the pass
 ///    stops at the end of the layer that resolved it, so states/edges
-///    counters may exceed the sequential engine's mid-layer stop.
+///    counters may exceed the sequential engine's mid-layer stop. The
+///    cooperative stop hook is honoured both at layer granularity and
+///    every 256 per-worker edges (so wide or heavily reduced layers
+///    cannot postpone a timeout).
+///
+/// With ReachabilityOptions::reuse set (and witness_tree ==
+/// kCanonicalCas; other modes fall back to scratch), the pass runs
+/// against the shared ReuseStore instead of a private store: markings,
+/// witness links and enabled rows resident from earlier passes are
+/// claimed per-epoch rather than re-interned, and every result above is
+/// bit-identical to the scratch pass at the same thread count
+/// (states_explored counts this pass's reached set, not the store's
+/// resident records).
 ///
 /// options.threads == 1 delegates to a ReachabilityExplorer — bit-for-bit
 /// today's sequential code path; 0 means one worker per hardware thread.

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,6 +15,8 @@
 #include "petri/predicate.hpp"
 
 namespace rap::petri {
+
+class ReuseStore;  // petri/reuse.hpp — cross-pass store retention
 
 /// A firing sequence from the initial marking, used as counterexample
 /// witness (what MPSAT prints as a violation trace).
@@ -79,13 +82,27 @@ struct ReachabilityOptions {
     /// per-worker Chase-Lev deques with stealing (default), or the PR-4
     /// shared atomic-cursor chunking (kept as the bench baseline).
     bool work_stealing = true;
-    /// Cooperative stop hook: polled every few thousand expansions by the
-    /// sequential engine and once per layer (in the barrier's serial
-    /// step) by the parallel one. Returning true ends the exploration
-    /// early with `truncated = true` — the mechanism behind flow::Sweep
-    /// cancellation and per-configuration timeouts. Must not throw.
-    /// Null (the default) never stops.
+    /// Cooperative stop hook: polled by the sequential engine every 2048
+    /// interned states AND every 256 expanded edges (states alone let a
+    /// heavily POR-reduced or wide-state pass run far past a deadline),
+    /// and by the parallel engine once per layer (in the barrier's
+    /// serial step) plus every 256 edges per worker. Returning true ends
+    /// the exploration early with `truncated = true` — the mechanism
+    /// behind flow::Sweep cancellation and per-configuration timeouts.
+    /// May be invoked concurrently from worker threads, so it must be
+    /// thread-safe for const access (reading atomics / the clock, as the
+    /// sweep's deadline hook does, is fine). Must not throw. Null (the
+    /// default) never stops.
     std::function<bool()> stop;
+    /// Cross-pass store retention (incremental re-verification): when
+    /// set, the exploration attaches to this shared ReuseStore and
+    /// claims resident markings per-pass instead of re-interning them —
+    /// see petri/reuse.hpp for the contract. Results are bit-identical
+    /// to a scratch pass at the same thread count. Falls back to scratch
+    /// silently when the store's record dimensions don't match the net,
+    /// or (parallel engine) when witness_tree != kCanonicalCas. Passes
+    /// sharing one ReuseStore must be externally sequenced.
+    std::shared_ptr<ReuseStore> reuse;
 };
 
 /// Memory footprint of one exploration pass, for capacity planning at the
@@ -218,6 +235,12 @@ public:
 
 private:
     static constexpr std::uint32_t kNoParent = UINT32_MAX;
+
+    /// run_query on an attached ReuseStore: claims resident records in
+    /// discovery order instead of interning into the private store_, so
+    /// every answer (including discovery-ordered deadlock lists and
+    /// first-hit witnesses) is bit-identical to the scratch pass.
+    MultiResult run_query_reused(const MultiQuery& query, ReuseStore& reuse);
 
     Trace rebuild_trace(std::uint32_t index) const;
     Marking materialize(std::uint32_t id) const;

@@ -115,21 +115,30 @@ Pipeline build_pipeline(const std::string& name,
 
 void set_depth(Pipeline& pipeline, int depth) {
     if (depth < 1 || depth > static_cast<int>(pipeline.stages.size())) {
-        throw std::invalid_argument("set_depth: depth out of range");
+        throw std::invalid_argument(
+            "set_depth: depth " + std::to_string(depth) +
+            " out of range [1, " + std::to_string(pipeline.stages.size()) +
+            "]");
+    }
+    // Validate everything before touching the graph: rejecting the
+    // request mid-loop used to leave the rings of earlier stages already
+    // reset — a partially applied configuration whose caller-side
+    // artifacts (flow::Design caches) were never invalidated. A throw
+    // now guarantees the pipeline is exactly as it was.
+    for (std::size_t i = 0; i < pipeline.stages.size(); ++i) {
+        if (!pipeline.stages[i].reconfigurable &&
+            static_cast<int>(i) >= depth) {
+            throw std::invalid_argument(
+                "set_depth: stage s" + std::to_string(i + 1) +
+                " is static and cannot be bypassed");
+        }
     }
     for (std::size_t i = 0; i < pipeline.stages.size(); ++i) {
         Stage& stage = pipeline.stages[i];
-        const bool active = static_cast<int>(i) < depth;
-        if (!stage.reconfigurable) {
-            if (!active) {
-                throw std::invalid_argument(
-                    "set_depth: stage s" + std::to_string(i + 1) +
-                    " is static and cannot be bypassed");
-            }
-            continue;
-        }
-        const TokenValue polarity =
-            active ? TokenValue::True : TokenValue::False;
+        if (!stage.reconfigurable) continue;
+        const TokenValue polarity = static_cast<int>(i) < depth
+                                        ? TokenValue::True
+                                        : TokenValue::False;
         for (const ControlRing& ring : stage.rings) {
             reset_ring(pipeline.graph, ring, polarity);
         }

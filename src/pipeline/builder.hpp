@@ -74,10 +74,13 @@ Pipeline build_pipeline(const std::string& name,
                         const std::vector<StageOptions>& options);
 
 /// Reconfigures the pipeline to use the first `depth` stages: rings of
-/// stages < depth get True tokens, the rest False. Throws if `depth`
-/// asks a static (always-on) stage to be bypassed or exceeds the stage
-/// count. This models writing the chip's `config` input between runs —
-/// reconfiguration happens at the model's initialisation boundary.
+/// stages < depth get True tokens, the rest False. Throws
+/// std::invalid_argument if `depth` exceeds the stage count (or is < 1)
+/// or asks a static (always-on) stage to be bypassed — in either case
+/// the whole request is validated *before* any ring is touched, so a
+/// throw leaves the pipeline exactly as it was (no partially applied
+/// configuration). This models writing the chip's `config` input between
+/// runs — reconfiguration happens at the model's initialisation boundary.
 void set_depth(Pipeline& pipeline, int depth);
 
 }  // namespace rap::pipeline

@@ -80,7 +80,7 @@ std::shared_ptr<const CompiledModel> ArtifactCache::lookup(
 
         std::shared_ptr<const CompiledModel> model;
         try {
-            model = std::make_shared<const CompiledModel>(graph);
+            model = build_model(graph);
         } catch (...) {
             lock.lock();
             auto placed = shard.index.find(key);
@@ -102,6 +102,37 @@ std::shared_ptr<const CompiledModel> ArtifactCache::lookup(
         evict_overflow(shard);
         return model;
     }
+}
+
+std::shared_ptr<const CompiledModel> ArtifactCache::build_model(
+    const dfs::Graph& graph) {
+    const std::string sfp = model_structure_fingerprint(graph);
+    std::shared_ptr<const CompiledModel> parent;
+    {
+        const std::lock_guard<std::mutex> lock(structural_mu_);
+        auto it = structural_.find(sfp);
+        if (it != structural_.end()) parent = it->second.lock();
+    }
+    auto model = parent != nullptr
+                     ? std::make_shared<const CompiledModel>(graph, *parent)
+                     : std::make_shared<const CompiledModel>(graph);
+    {
+        const std::lock_guard<std::mutex> lock(structural_mu_);
+        structural_[sfp] = model;
+        // The index only ever grows by distinct structures; sweep out
+        // entries whose artifacts all died so it cannot accumulate
+        // unboundedly across long multi-model runs.
+        if (structural_.size() > 64) {
+            for (auto it = structural_.begin(); it != structural_.end();) {
+                if (it->second.expired()) {
+                    it = structural_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+    return model;
 }
 
 std::shared_ptr<const CompiledModel> ArtifactCache::get(

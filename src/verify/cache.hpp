@@ -158,12 +158,24 @@ private:
     std::shared_ptr<const CompiledModel> lookup(const dfs::Graph& graph,
                                                 bool pin, std::string* key_out,
                                                 std::size_t* shard_out);
+    /// Compiles `graph` — as a delta off a live structurally identical
+    /// parent when the structural index has one, from scratch otherwise —
+    /// and registers the result as the structure's latest parent. Called
+    /// outside any shard lock (builds are the slow path).
+    std::shared_ptr<const CompiledModel> build_model(const dfs::Graph& graph);
     void unpin(std::size_t shard_index, const std::string& key);
     void evict_overflow(Shard& shard);  ///< caller holds shard.mutex
 
     Options options_;
     std::size_t per_shard_capacity_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    /// Structural-fingerprint -> most recent artifact of that structure,
+    /// held weakly: delta compilation wants *a* live parent but must not
+    /// keep evicted models alive. Global (not sharded) — only touched on
+    /// the build slow path.
+    std::mutex structural_mu_;
+    std::unordered_map<std::string, std::weak_ptr<const CompiledModel>>
+        structural_;
 };
 
 /// Snapshot of the process-wide artifact cache (the instance behind

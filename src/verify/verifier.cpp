@@ -54,6 +54,7 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     ropts.frontier_enabled_cache = options_.frontier_enabled_cache;
     ropts.por = options_.por;
     ropts.stop = options_.stop;
+    ropts.reuse = options_.reuse;
     // The parallel explorer shards the BFS frontier over the shared
     // compiled artifact; at one (resolved) thread it delegates to the
     // sequential engine's exact code path.

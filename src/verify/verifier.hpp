@@ -89,6 +89,17 @@ struct VerifyOptions {
     /// drives cancellation and per-configuration timeouts through this.
     /// Must not throw. Null (the default) never stops.
     std::function<bool()> stop;
+    /// Cross-pass marking-store retention forwarded to the exploration
+    /// engines (petri::ReachabilityOptions::reuse) — the incremental
+    /// re-verification hook. Passes sharing one store re-claim resident
+    /// markings (and their cached enabled rows) instead of re-interning
+    /// them, which pays off when consecutive verifications differ only
+    /// in the net's initial marking (flow::Design reconfigurations).
+    /// Verdicts, witnesses and counters are bit-identical to scratch at
+    /// the same thread count; dimension or witness-mode mismatches fall
+    /// back to scratch silently. The same store must not be used by two
+    /// explorations concurrently.
+    std::shared_ptr<petri::ReuseStore> reuse;
 };
 
 /// A user-supplied Reach-style predicate for the standard checks'

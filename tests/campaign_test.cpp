@@ -142,6 +142,60 @@ TEST(Campaign, SubFreezeVoltageShowsUpInTheSurvivalCurve) {
     EXPECT_NEAR(*summary.first_failure_voltage, 0.3, 1e-12);
 }
 
+// The knee-detection bugfix: a statistical blip at nominal voltage (a
+// few flaky runs out of many) must not drag first_failure_voltage to
+// the top of the axis. With the minimum-failure-fraction knob the knee
+// lands on the decisively failing band and the blip is reported
+// separately; the knob never perturbs the reproducibility checksums.
+TEST(Campaign, KneeRequiresMinimumFailureFraction) {
+    asim::FaultSpec faults;
+    faults.stuck_rate = 0.002;  // rare stuck-ats: flaky, not broken
+
+    auto run_with = [&](double knee) {
+        return Campaign(small_factory(2))
+            .depths({2})
+            .voltages({1.2, 0.3})  // nominal + sub-freeze
+            .base_faults(faults)
+            .runs(8)
+            .items(6)
+            .seed(99)
+            .knee_min_failure_fraction(knee)
+            .run();
+    };
+
+    // Legacy behaviour (threshold 0): ANY failing run moves the knee.
+    const CampaignSummary strict = run_with(0.0);
+    ASSERT_EQ(strict.rows.size(), 2u);
+    const CampaignAggregate& nominal = strict.rows[0];
+    const CampaignAggregate& frozen = strict.rows[1];
+    ASSERT_EQ(frozen.completed, 0u);  // sub-freeze: every run fails
+    // The seed must realise a partial failure at nominal — the blip.
+    ASSERT_GT(nominal.completed, 0u);
+    ASSERT_LT(nominal.completed, nominal.runs);
+    ASSERT_TRUE(strict.first_failure_voltage.has_value());
+    EXPECT_NEAR(*strict.first_failure_voltage, 1.2, 1e-12);  // the bug
+    EXPECT_EQ(strict.blip_points, 0u);
+
+    // With the threshold above the blip's fraction the knee lands on
+    // the decisively failing band and the blip is reported separately.
+    const double blip_fraction =
+        static_cast<double>(nominal.runs - nominal.completed) /
+        static_cast<double>(nominal.runs);
+    const CampaignSummary tolerant = run_with(blip_fraction + 0.01);
+    ASSERT_TRUE(tolerant.first_failure_voltage.has_value());
+    EXPECT_NEAR(*tolerant.first_failure_voltage, 0.3, 1e-12);
+    EXPECT_EQ(tolerant.blip_points, 1u);
+    ASSERT_TRUE(tolerant.highest_blip_voltage.has_value());
+    EXPECT_NEAR(*tolerant.highest_blip_voltage, 1.2, 1e-12);
+    EXPECT_EQ(tolerant.checksum, strict.checksum)
+        << "knee classification must not perturb result checksums";
+
+    EXPECT_THROW(Campaign(small_factory(2)).knee_min_failure_fraction(-0.1),
+                 std::invalid_argument);
+    EXPECT_THROW(Campaign(small_factory(2)).knee_min_failure_fraction(1.5),
+                 std::invalid_argument);
+}
+
 TEST(Campaign, StuckFaultsDegradeSurvival) {
     asim::FaultSpec faults;
     faults.stuck_rate = 0.05;

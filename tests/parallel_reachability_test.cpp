@@ -303,6 +303,57 @@ TEST(ParallelReachability, NoTruncationAtExactFit) {
     EXPECT_EQ(result.states_explored, exact);
 }
 
+// ------------------------------------------------------- stop hook ------
+
+TEST(StopHook, FiresWithinEdgeBoundOnReducedPasses) {
+    // Regression: the stop hook used to be polled on interned *states*
+    // only (every 2048 in the sequential engine, per layer in the
+    // parallel one), so a heavily POR-reduced pass — few fresh states,
+    // many edges — could run far past its deadline. Both engines now
+    // also poll every 256 expanded edges; with a hook that trips right
+    // after its first call the pass must stop within a small edge
+    // budget, nowhere near the fixture's full reduced exploration.
+    const Fixture fixture = ope_fixture(3, 3);
+    const CompiledNet compiled(fixture.net);
+    MultiQuery query;
+    query.collect_deadlocks = true;
+
+    // Sequential engine: polls at head & 2047 == 0 states AND every 256
+    // edges, so after the hook trips at most 256 edges can pass.
+    {
+        std::atomic<std::size_t> calls{0};
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;
+        options.por = true;
+        options.stop = [&calls] {
+            return calls.fetch_add(1, std::memory_order_relaxed) >= 1;
+        };
+        ReachabilityExplorer seq(compiled, options);
+        const auto result = seq.run_query(query);
+        EXPECT_TRUE(result.truncated);
+        EXPECT_LE(result.edges_explored, 512u)
+            << "sequential edge poll missed its bound";
+    }
+
+    // Parallel engine: per-layer serial poll plus a per-worker poll
+    // every 256 edges, so the bound scales with the worker count.
+    for (const std::size_t threads : kThreadCounts) {
+        std::atomic<std::size_t> calls{0};
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;
+        options.por = true;
+        options.threads = threads;
+        options.stop = [&calls] {
+            return calls.fetch_add(1, std::memory_order_relaxed) >= 1;
+        };
+        ParallelReachabilityExplorer par(compiled, options);
+        const auto result = par.run_query(query);
+        EXPECT_TRUE(result.truncated) << threads;
+        EXPECT_LE(result.edges_explored, 512u * threads + 512u)
+            << "parallel edge poll missed its bound @" << threads << "t";
+    }
+}
+
 // ----------------------------------------------------- memory contract --
 
 /// Full results of two passes must be indistinguishable: counters, sets,
@@ -428,6 +479,77 @@ TEST(MemoryDiet, EvictionPathStressUnderEveryScheduler) {
                                   (cas ? " cas" : " resweep"));
         }
     }
+}
+
+TEST(MemoryDiet, ReducedPassAccountsRowsAtAmpleWidth) {
+    // ROADMAP follow-up (a): a reduced pass that never widens (no
+    // persistence check, no proviso — deadlock collection only) stores
+    // frontier rows as [full | ample] with the ample set computed at
+    // discovery, and accounts out-edge provisioning at ample width. The
+    // contract: answers and reduction statistics are bit-identical to
+    // the expansion-time reduction path (diet off), while records still
+    // shed their enabled words.
+    const Fixture fixture = ope_fixture(3, 3);
+    const CompiledNet compiled(fixture.net);
+    MultiQuery query;
+    query.collect_deadlocks = true;
+
+    ReachabilityOptions seq_options;
+    seq_options.stop_at_first_match = false;
+    seq_options.por = true;
+    ReachabilityExplorer seq(compiled, seq_options);
+    const auto reference = seq.run_query(query);
+    ASSERT_TRUE(reference.por.active);
+    ASSERT_GT(reference.por.ignored(), 0u) << "fixture must actually reduce";
+
+    MultiResult with_cache;
+    MultiResult without_cache;
+    for (const bool cache : {true, false}) {
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;
+        options.threads = 4;
+        options.por = true;
+        options.frontier_enabled_cache = cache;
+        ParallelReachabilityExplorer par(compiled, options);
+        (cache ? with_cache : without_cache) = par.run_query(query);
+    }
+    expect_identical(with_cache, without_cache, "reduced diet on/off");
+    EXPECT_EQ(with_cache.states_explored, reference.states_explored);
+    EXPECT_EQ(sorted(with_cache.deadlocks), sorted(reference.deadlocks));
+
+    // Discovery-time and expansion-time ample computation must agree on
+    // every reduction statistic, not just the verdicts.
+    EXPECT_TRUE(with_cache.por.active);
+    EXPECT_EQ(with_cache.por.expansions, without_cache.por.expansions);
+    EXPECT_EQ(with_cache.por.reduced_expansions,
+              without_cache.por.reduced_expansions);
+    EXPECT_EQ(with_cache.por.proviso_expansions,
+              without_cache.por.proviso_expansions);
+    EXPECT_EQ(with_cache.por.enabled_transitions,
+              without_cache.por.enabled_transitions);
+    EXPECT_EQ(with_cache.por.expanded_transitions,
+              without_cache.por.expanded_transitions);
+
+    // Arena-block granularity dominates record_bytes at POR-reduced
+    // sizes (a few thousand states), so the enabled-word byte ratio is
+    // not measurable here — the full-pass diet test covers it. What
+    // must hold on the reduced pass: every record is accounted, and the
+    // per-worker [full | ample] row arenas show up in the resident
+    // accounting (diet off has no row arenas — its enabled words live
+    // inside the store records).
+    EXPECT_EQ(with_cache.memory.records, with_cache.states_explored);
+    ASSERT_GT(without_cache.memory.record_bytes, 0u);
+    ASSERT_GE(with_cache.memory.resident_bytes,
+              with_cache.memory.record_bytes);
+    const std::size_t with_overhead =
+        with_cache.memory.resident_bytes - with_cache.memory.record_bytes;
+    const std::size_t without_overhead =
+        without_cache.memory.resident_bytes -
+        without_cache.memory.record_bytes;
+    EXPECT_GT(with_overhead, without_overhead)
+        << "ample-width row arenas must be part of the resident accounting";
+    EXPECT_GE(with_cache.memory.peak_bytes,
+              with_cache.memory.resident_bytes);
 }
 
 // --------------------------------------------------------- witness tree --
