@@ -33,6 +33,26 @@ import sys
 PARALLEL_MIN_SPEEDUP = 1.8
 PARALLEL_MIN_THREADS = 4
 
+# Capacity gate for bench_capacity's JSON summary (--capacity). The
+# numbers are store geometry (table + arena bytes over deterministic
+# state counts), not timings, so they are machine-independent and gate
+# on any runner. The aggregate compact/legacy ratio ceiling is the
+# tentpole claim (the compact layout saves >= 20% of store bytes across
+# the fixture mix); the per-row bytes/state ceilings catch either layout
+# silently growing records or slot head-room. Ceilings sit ~10% above
+# the measured values so allocator-rounding changes don't flap the gate.
+CAPACITY_MAX_AGGREGATE_RATIO = 0.80
+CAPACITY_MAX_BYTES_PER_STATE = {
+    # fixture           (legacy, compact) bytes/state ceilings, ~15%
+    # above the measured 79.6/35.7, 79.9/48.7 and 64.2/43.2
+    "ope_s3_d3/seq": (92.0, 42.0),
+    "deepring/seq": (92.0, 56.0),
+    "ope_s3_d3/par4": (75.0, 50.0),
+    # the nightly soak pin (19M states, sequential row only; measured
+    # 74.2/46.1 — a 37.9% drop against the >= 20% acceptance bar)
+    "ope_s4_d4/seq": (86.0, 54.0),
+}
+
 # Partial-order reduction floor for bench_por's JSON summary (--por).
 # Unlike timings, these are state-count ratios of a deterministic
 # reduced graph — machine-independent, so the gate holds on any runner
@@ -77,6 +97,27 @@ def load_times(path):
     return {**plain, **medians}
 
 
+def load_section(path, name, gated, failures):
+    """Load one summary-JSON section, loudly.
+
+    A flag that asks for a section must never silently pass when the
+    file is absent or unreadable: a gated section records a failure (the
+    gate cannot be skipped by deleting its input), an advisory section
+    prints an explicit skip line so the job log shows the gap.
+    """
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        if gated:
+            failures.append(f"{name} section missing — gated input "
+                            f"{path} unreadable ({e})")
+        else:
+            print(f"{name}: section missing — advisory skipped "
+                  f"({path}: {e})")
+        return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -92,6 +133,14 @@ def main():
     parser.add_argument("--por",
                         help="bench_por JSON summary to gate "
                              "(reduction-ratio floor)")
+    parser.add_argument("--capacity",
+                        help="bench_capacity JSON summary to gate "
+                             "(compact/legacy store-byte ratio ceiling "
+                             "and per-fixture bytes/state ceilings)")
+    parser.add_argument("--max-capacity-ratio", type=float,
+                        default=CAPACITY_MAX_AGGREGATE_RATIO,
+                        help="aggregate compact/legacy store-byte "
+                             "ceiling")
     parser.add_argument("--min-ope-ratio", type=float,
                         default=POR_MIN_OPE_RATIO,
                         help="state-count reduction floor on the best "
@@ -162,9 +211,9 @@ def main():
         print(f"{name:40} {base * 1e9:11.0f}n {cur * 1e9:11.0f}n "
               f"{delta:+7.1%} [{tag}]{marker}")
 
-    if args.parallel:
-        with open(args.parallel) as f:
-            par = json.load(f)
+    par = (load_section(args.parallel, "parallel", True, failures)
+           if args.parallel else None)
+    if par is not None:
         threads = par.get("hardware_threads", 1)
         speedup = par.get("best_speedup", 0.0)
         steal = par.get("steal_vs_cursor")
@@ -184,12 +233,12 @@ def main():
                 f"{args.min_parallel_speedup:.2f}x floor on a "
                 f"{threads}-thread runner")
 
-    if args.por:
+    por = (load_section(args.por, "por", True, failures)
+           if args.por else None)
+    if por is not None:
         # Ratios only, never absolute state counts: the reduced graph is
         # deterministic, so the ratios transfer across machines while
         # counts would pin fixture sizes into CI.
-        with open(args.por) as f:
-            por = json.load(f)
         best = por.get("best_ope_ratio", 0.0)
         for fx in por.get("fixtures", []):
             print(f"por {fx.get('name'):24} state ratio "
@@ -209,12 +258,53 @@ def main():
                 f"por: best OPE reduction {best:.2f}x fell below the "
                 f"{args.min_ope_ratio:.2f}x floor")
 
-    if args.sweep:
+    cap = (load_section(args.capacity, "capacity", True, failures)
+           if args.capacity else None)
+    if cap is not None:
+        # Store geometry over deterministic state counts —
+        # machine-independent, so both ceilings gate on any runner.
+        rows = cap.get("rows", [])
+        if not rows:
+            failures.append("capacity: summary has no fixture rows")
+        for row in rows:
+            name = row.get("name", "?")
+            legacy = row.get("legacy_bytes_per_state", 0.0)
+            compact = row.get("compact_bytes_per_state", 0.0)
+            print(f"capacity {name:18} {row.get('states', 0):>10} states"
+                  f"   legacy {legacy:6.1f} B/state   compact "
+                  f"{compact:6.1f} B/state   ratio "
+                  f"{row.get('ratio', 0.0):.3f}")
+            ceilings = CAPACITY_MAX_BYTES_PER_STATE.get(name)
+            if ceilings is None:
+                print(f"capacity: no bytes/state ceiling pinned for "
+                      f"{name} (informational row)")
+                continue
+            if legacy > ceilings[0]:
+                failures.append(
+                    f"capacity: {name} legacy layout grew to "
+                    f"{legacy:.1f} B/state (ceiling {ceilings[0]:.1f})")
+            if compact > ceilings[1]:
+                failures.append(
+                    f"capacity: {name} compact layout grew to "
+                    f"{compact:.1f} B/state (ceiling {ceilings[1]:.1f})")
+        ratio = cap.get("aggregate_ratio", 1.0)
+        print(f"capacity aggregate compact/legacy store bytes: "
+              f"{ratio:.3f} (ceiling {args.max_capacity_ratio:.2f})")
+        if not cap.get("ok", False):
+            failures.append("bench_capacity reported a layout mismatch "
+                            "or truncated fixture")
+        if ratio > args.max_capacity_ratio:
+            failures.append(
+                f"capacity: compact/legacy store-byte ratio {ratio:.3f} "
+                f"above the {args.max_capacity_ratio:.2f} ceiling — the "
+                "compact layout stopped paying for itself")
+
+    sweep = (load_section(args.sweep, "sweep", False, failures)
+             if args.sweep else None)
+    if sweep is not None:
         # Advisory only: dedup ratio and cache hit rate are facts about
         # the sweep workload, not regressions — surface them in the job
         # log (and as warnings if they look off) without gating.
-        with open(args.sweep) as f:
-            sweep = json.load(f)
         dedup = sweep.get("dedup_ratio", 0.0)
         hit_rate = sweep.get("cache_hit_rate", 0.0)
         print(f"sweep service (advisory): {sweep.get('grid_points')} grid "
@@ -229,14 +319,14 @@ def main():
             warnings.append("sweep cache hit rate is zero — dedup "
                             "before compile is not engaging")
 
-    if args.mc:
+    mc = (load_section(args.mc, "mc", False, failures)
+          if args.mc else None)
+    if mc is not None:
         # Advisory only: survival and hazard counts are facts about the
         # fault model, not regressions. The one hard contract — fixed-seed
         # reproducibility of the aggregate row — is checked inside
         # bench_mc, whose exit code gates its own CI step; here we just
         # surface the summary (and a warning if that run flagged trouble).
-        with open(args.mc) as f:
-            mc = json.load(f)
         ffv = mc.get("first_failure_voltage")
         print(f"mc campaign (advisory): {mc.get('runs_total')} runs over "
               f"{mc.get('grid_points')} grid points, "
@@ -254,13 +344,13 @@ def main():
             warnings.append("bench_mc reported a problem (see its own "
                             "job step for the gate)")
 
-    if args.incremental:
+    inc = (load_section(args.incremental, "incremental", False, failures)
+           if args.incremental else None)
+    if inc is not None:
         # Advisory only: the timings are machine facts, and the two hard
         # contracts (scratch/incremental bit-equality, intern-ratio
         # ceiling) already gate bench_incremental's own CI step. Here we
         # surface the summary and flag anything that looks off.
-        with open(args.incremental) as f:
-            inc = json.load(f)
         ratio = inc.get("intern_ratio", 0.0)
         print(f"incremental re-verification (advisory): "
               f"{len(inc.get('depths', []))} configurations, "

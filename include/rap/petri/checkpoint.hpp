@@ -1,0 +1,4 @@
+#pragma once
+
+// Public facade for librap: forwards to the internal source layout.
+#include "petri/checkpoint.hpp"

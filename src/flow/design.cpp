@@ -80,13 +80,26 @@ const pipeline::Pipeline& Design::pipeline() const {
 
 // -- invalidation --------------------------------------------------------
 
+void Design::flush_verifier() const {
+    if (!verifier_) return;
+    // The verifier is about to be dropped: fold its observable state
+    // into the session accumulators so counters and stats never appear
+    // to go backwards across a rebuild.
+    reuse_fallbacks_ += verifier_->reuse_fallbacks();
+    if (verifier_->has_memory_stats()) {
+        last_memory_ = verifier_->memory_stats();
+    }
+    if (verifier_->has_por_stats()) last_por_ = verifier_->por_stats();
+    verifier_.reset();
+}
+
 void Design::invalidate_marking_artifacts() {
     ++revision_;
     // The PN translation encodes the initial marking; the verifier holds
     // the compiled artifact. Dynamics, netlist and timing read only the
     // structure and survive reconfiguration.
     model_.reset();
-    verifier_.reset();
+    flush_verifier();
 }
 
 void Design::invalidate_all_artifacts() {
@@ -126,6 +139,27 @@ void Design::reset_ring(const pipeline::ControlRing& ring,
 dfs::Graph& Design::edit() {
     invalidate_all_artifacts();
     return graph_mut();
+}
+
+// -- checkpointing --------------------------------------------------------
+
+void Design::set_checkpoint(std::string path, std::size_t every) {
+    options_.verify.checkpoint_path = std::move(path);
+    options_.verify.checkpoint_every = every;
+    // Option change, not a model mutation: only the verifier (which
+    // snapshots VerifyOptions at build) rebuilds; revision() holds.
+    flush_verifier();
+}
+
+void Design::set_resume(
+    std::shared_ptr<const petri::StoreCheckpoint> resume) {
+    options_.verify.resume = std::move(resume);
+    flush_verifier();
+}
+
+std::size_t Design::reuse_fallbacks() const noexcept {
+    return reuse_fallbacks_ +
+           (verifier_ ? verifier_->reuse_fallbacks() : 0);
 }
 
 // -- artifacts -----------------------------------------------------------

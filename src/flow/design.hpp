@@ -172,6 +172,36 @@ public:
     /// readable across model mutations.
     std::optional<petri::PorStats> por_stats() const;
 
+    /// Verification passes of this session that requested cross-pass
+    /// reuse but ran scratch (dimension/witness-mode mismatch after a
+    /// topology change). Accumulated across verifier rebuilds, so the
+    /// count survives reconfigurations — a session whose "incremental"
+    /// sweeps silently went cold shows it here (and in the flow metrics
+    /// as rap_reuse_fallbacks_total).
+    std::size_t reuse_fallbacks() const noexcept;
+
+    // -- checkpointing ----------------------------------------------------
+
+    /// Points verification checkpointing at `path` (empty disables):
+    /// subsequent explorations periodically serialize a
+    /// petri::StoreCheckpoint there (`every` = cadence in states
+    /// (sequential) or layers (parallel); 0 = engine default). Not a
+    /// model mutation — cached artifacts other than the verifier
+    /// survive, and revision() does not change.
+    void set_checkpoint(std::string path, std::size_t every = 0);
+
+    /// Makes the next exploration resume from a loaded checkpoint
+    /// instead of the initial marking (pass nullptr to clear). The
+    /// checkpoint must match the session's net structure; the engines
+    /// refuse anything else loudly. One-shot in spirit: callers clear or
+    /// replace it after the resumed pass completes.
+    void set_resume(std::shared_ptr<const petri::StoreCheckpoint> resume);
+
+    /// The checkpoint path explorations currently write to ("" = off).
+    const std::string& checkpoint_path() const noexcept {
+        return options_.verify.checkpoint_path;
+    }
+
     // -- simulation -------------------------------------------------------
 
     dfs::State initial_state() const;
@@ -217,6 +247,9 @@ private:
     dfs::Graph& graph_mut() noexcept;
     void invalidate_marking_artifacts();
     void invalidate_all_artifacts();
+    /// Drops the cached verifier after folding its counters and stats
+    /// into the session-level accumulators (so nothing observable resets).
+    void flush_verifier() const;
 
     DesignOptions options_;
     /// Exactly one of the two holds the model.
@@ -235,6 +268,9 @@ private:
     mutable std::size_t pn_builds_ = 0;
     mutable std::size_t netlist_builds_ = 0;
     std::size_t revision_ = 0;
+    /// Reuse-requested-but-scratch passes folded in from dropped
+    /// verifiers; reuse_fallbacks() adds the live verifier's share.
+    mutable std::size_t reuse_fallbacks_ = 0;
     /// Footprint of the last completed exploration, surviving verifier
     /// invalidation so memory_stats() keeps answering after reconfigure.
     mutable std::optional<petri::MemoryStats> last_memory_;

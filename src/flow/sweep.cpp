@@ -49,6 +49,9 @@ struct SweepState {
     /// ReuseStore (explorations sharing a store must be sequenced).
     /// Empty when the mode is off (points schedule individually).
     std::vector<std::vector<std::size_t>> chains;
+    /// Checkpoint directory ("" = off): each point writes
+    /// `<dir>/<flattened label>.ckpt`.
+    std::string checkpoint_dir;
     /// Cache counters at launch, so the metrics snapshot can attribute
     /// hit-rate to this sweep rather than the whole process lifetime.
     verify::CacheStats cache_before;
@@ -68,6 +71,12 @@ struct SweepState {
     std::size_t states_total = 0;
     double verify_seconds_total = 0.0;
     std::size_t peak_resident_bytes = 0;
+    /// Marking-store shape of the exploration that owns
+    /// peak_resident_bytes — the rap_store_* gauges describe the sweep's
+    /// biggest state space, the one capacity planning cares about.
+    std::optional<petri::StoreStats> peak_store;
+    /// Passes that requested cross-pass reuse but ran scratch.
+    std::size_t reuse_fallbacks_total = 0;
     std::size_t por_active_configs = 0;  ///< rows whose pass reduced
     std::size_t por_enabled_total = 0;   ///< full-exploration work
     std::size_t por_expanded_total = 0;  ///< work actually done
@@ -140,11 +149,24 @@ SweepResult process_point(SweepState& state, const SweepPoint& point,
                std::chrono::steady_clock::now() >= deadline ||
                (user_stop && user_stop());
     };
+    if (!state.checkpoint_dir.empty()) {
+        // `<dir>/<label>.ckpt` with the grid label's slashes flattened
+        // ("s4/d3/v0" -> "s4_d3_v0") so every point is one file.
+        std::string name = point.label;
+        std::replace(name.begin(), name.end(), '/', '_');
+        options.verify.checkpoint_path =
+            state.checkpoint_dir + "/" + name + ".ckpt";
+    }
 
+    // The session outlives the try: a pass that dies mid-exploration
+    // still has a real interned footprint (petri::ExplorationAborted
+    // carries it into Design::memory_stats()), and dropping it here used
+    // to under-report the sweep's peak-resident aggregate.
+    std::unique_ptr<Design> design;
     try {
         const auto pin =
             verify::ArtifactCache::process_cache().get_pinned(model->graph);
-        const auto design = make_design(std::move(*model), options);
+        design = make_design(std::move(*model), options);
 
         const auto t0 = std::chrono::steady_clock::now();
         row.report = design->verify(state.spec);
@@ -158,6 +180,7 @@ SweepResult process_point(SweepState& state, const SweepPoint& point,
         }
         row.memory = design->memory_stats();
         row.por = design->por_stats();
+        row.reuse_fallbacks = design->reuse_fallbacks();
 
         bool truncated_by_stop = false;
         for (const auto& finding : row.report.findings) {
@@ -173,6 +196,12 @@ SweepResult process_point(SweepState& state, const SweepPoint& point,
     } catch (const std::exception& e) {
         row.status = SweepStatus::kInvalid;
         row.error = e.what();
+        if (design) {
+            // Salvage whatever the dead pass measured before it threw.
+            row.memory = design->memory_stats();
+            row.por = design->por_stats();
+            row.reuse_fallbacks = design->reuse_fallbacks();
+        }
     }
     return row;
 }
@@ -196,9 +225,13 @@ void run_point(SweepState& state, std::size_t index,
         state.states_total += row.states;
         state.verify_seconds_total += row.verify_seconds;
         if (row.memory) {
+            if (row.memory->peak_bytes >= state.peak_resident_bytes) {
+                state.peak_store = row.memory->store;
+            }
             state.peak_resident_bytes = std::max(
                 state.peak_resident_bytes, row.memory->peak_bytes);
         }
+        state.reuse_fallbacks_total += row.reuse_fallbacks;
         if (row.por && row.por->active) {
             ++state.por_active_configs;
             state.por_enabled_total += row.por->enabled_transitions;
@@ -259,6 +292,8 @@ Metrics build_metrics(SweepState& state) {
     std::size_t states_total = 0;
     double verify_seconds = 0.0;
     std::size_t peak = 0;
+    std::optional<petri::StoreStats> peak_store;
+    std::size_t reuse_fallbacks = 0;
     std::size_t por_active = 0;
     std::size_t por_enabled = 0;
     std::size_t por_expanded = 0;
@@ -270,6 +305,8 @@ Metrics build_metrics(SweepState& state) {
         states_total = state.states_total;
         verify_seconds = state.verify_seconds_total;
         peak = state.peak_resident_bytes;
+        peak_store = state.peak_store;
+        reuse_fallbacks = state.reuse_fallbacks_total;
         por_active = state.por_active_configs;
         por_enabled = state.por_enabled_total;
         por_expanded = state.por_expanded_total;
@@ -309,6 +346,30 @@ Metrics build_metrics(SweepState& state) {
     m.set("rap_sweep_peak_resident_bytes",
           "Largest single-exploration resident footprint seen",
           Type::kGauge, static_cast<double>(peak));
+    m.set("rap_reuse_fallbacks_total",
+          "Passes that requested cross-pass reuse but ran scratch",
+          Type::kCounter, static_cast<double>(reuse_fallbacks));
+
+    // Marking-store shape of the peak-resident exploration — the
+    // capacity-tier surface (table vs arena split, load factor, layout).
+    if (peak_store) {
+        m.set("rap_store_slots",
+              "Hash-table slots of the peak-resident exploration's store",
+              Type::kGauge, static_cast<double>(peak_store->slots));
+        m.set("rap_store_load_factor",
+              "Records / slots of the peak-resident exploration's store",
+              Type::kGauge, peak_store->load_factor());
+        m.set("rap_store_table_bytes",
+              "Hash-table bytes of the peak-resident exploration's store",
+              Type::kGauge, static_cast<double>(peak_store->table_bytes));
+        m.set("rap_store_arena_bytes",
+              "Record-arena bytes of the peak-resident exploration's store",
+              Type::kGauge, static_cast<double>(peak_store->arena_bytes));
+        m.set("rap_store_compact",
+              "1 when the peak-resident exploration used the compact "
+              "(id-less) interning layout",
+              Type::kGauge, peak_store->compact ? 1.0 : 0.0);
+    }
 
     // Partial-order reduction aggregates across completed rows. The
     // ratio compares transition-expansion work, the quantity reduction
@@ -479,6 +540,11 @@ Sweep& Sweep::shared_store(bool enabled) {
     return *this;
 }
 
+Sweep& Sweep::checkpoint_dir(std::string dir) {
+    checkpoint_dir_ = std::move(dir);
+    return *this;
+}
+
 Sweep& Sweep::on_result(ResultCallback callback) {
     callback_ = std::move(callback);
     return *this;
@@ -555,7 +621,15 @@ Sweep::Handle Sweep::launch() {
     state->schedules = schedules_;
     state->timeout_s = timeout_s_;
     state->callback = callback_;
+    state->checkpoint_dir = checkpoint_dir_;
     state->cache_before = verify::cache_stats();
+    if (shared_store_ && !checkpoint_dir_.empty()) {
+        throw std::invalid_argument(
+            "flow::Sweep: checkpoint_dir is incompatible with "
+            "shared_store — the engines refuse to checkpoint a "
+            "cross-pass ReuseStore, so every chained point would come "
+            "back kInvalid");
+    }
 
     if (shared_store_) {
         // One chain per (stages, schedule) pair; the grid is ordered

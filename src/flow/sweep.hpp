@@ -49,7 +49,16 @@ struct SweepResult {
     bool clean = false;     ///< report.clean() shortcut
     std::size_t states = 0;           ///< states explored by the pass
     double verify_seconds = 0.0;      ///< wall time of the verification
-    std::optional<petri::MemoryStats> memory;  ///< exploration footprint
+    /// Exploration footprint. Present on kOk and kTimedOut rows, and on
+    /// kInvalid rows whose exploration died mid-pass (the partial pass's
+    /// interned footprint is real and counts toward the sweep's
+    /// peak-resident aggregate) — absent only when no exploration ran at
+    /// all (factory rejection, cancellation before start).
+    std::optional<petri::MemoryStats> memory;
+    /// Passes of this row's session that requested cross-pass reuse but
+    /// ran scratch (shared-store chains gone cold after a topology
+    /// change) — aggregated into rap_reuse_fallbacks_total.
+    std::size_t reuse_fallbacks = 0;
     /// Partial-order-reduction statistics of the verification pass
     /// (sweeps verify with reduction on by default — Sweep::por()).
     std::optional<petri::PorStats> por;
@@ -150,6 +159,16 @@ public:
     /// (the default) when grid-level parallelism matters more than
     /// cross-depth reuse.
     Sweep& shared_store(bool enabled);
+    /// Per-configuration checkpointing: each grid point's exploration
+    /// periodically serializes a petri::StoreCheckpoint to
+    /// `<dir>/<label>.ckpt` (grid labels like "s4/d3/v0" are flattened to
+    /// "s4_d3_v0"), so a killed sweep resumes its longest configurations
+    /// instead of rerunning them (the nightly soak wires this to CI
+    /// artifacts). The directory must exist. Empty (default) = off.
+    /// Incompatible with shared_store (the engines refuse reuse +
+    /// checkpoint, so launch() rejects the combination up front with
+    /// std::invalid_argument).
+    Sweep& checkpoint_dir(std::string dir);
     /// Streaming sink, invoked from worker threads (serialised — at most
     /// one callback at a time) as rows complete. The callback must not
     /// call back into the Handle (it runs under the sweep's result lock).
@@ -217,6 +236,7 @@ private:
     std::size_t max_in_flight_ = 0;
     double timeout_s_ = 0.0;
     bool shared_store_ = false;
+    std::string checkpoint_dir_;
     ResultCallback callback_;
 };
 

@@ -7,8 +7,10 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
+#include "petri/checkpoint.hpp"
 #include "petri/reuse.hpp"
 #include "util/steal_deque.hpp"
 
@@ -50,13 +52,24 @@ void spin_pause(unsigned round) noexcept {
 
 ConcurrentMarkingStore::ConcurrentMarkingStore(std::size_t marking_words,
                                                std::size_t meta_words,
-                                               std::size_t workers)
+                                               std::size_t workers,
+                                               bool compact)
     : words_(std::max<std::size_t>(marking_words, 1)),
       record_words_(words_ + meta_words),
+      compact_(compact),
       table_size_(std::size_t{1} << 12),
       table_(std::make_unique<std::atomic<std::uint64_t>[]>(table_size_)) {
     for (std::size_t i = 0; i < table_size_; ++i) {
         table_[i].store(kEmptySlot, std::memory_order_relaxed);
+    }
+    if (compact_) {
+        // Power-of-two records per block so the id->record map is a
+        // shift+mask; ~128K-word blocks, like the legacy arenas.
+        const std::size_t rpb = std::bit_floor(std::max<std::size_t>(
+            (std::size_t{1} << 14) / record_words_, 1));
+        cshift_ = static_cast<std::size_t>(std::bit_width(rpb) - 1);
+        cmask_ = static_cast<std::uint32_t>(rpb - 1);
+        return;  // no per-worker arenas: ids index the shared blocks
     }
     arenas_.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -69,6 +82,7 @@ ConcurrentMarkingStore::ConcurrentMarkingStore(std::size_t marking_words,
 }
 
 void ConcurrentMarkingStore::ensure_workers(std::size_t workers) {
+    if (compact_) return;  // workers share the id-indexed blocks
     while (arenas_.size() < workers) {
         arenas_.emplace_back(record_words_, std::size_t{1} << 14);
     }
@@ -112,14 +126,23 @@ ConcurrentMarkingStore::InternResult ConcurrentMarkingStore::intern(
                                    std::memory_order_release);
                 return {kNone, false};
             }
-            util::WordArena& arena = arenas_[worker];
-            std::uint64_t* record = arena[arena.push_zero()];
+            std::uint64_t* record;
+            if (compact_) {
+                // The id doubles as the arena position; the block was
+                // zero-provisioned by the last serial reserve, so the
+                // meta words beyond meta_init start zeroed exactly like
+                // a push_zero record.
+                record = compact_record(id);
+            } else {
+                util::WordArena& arena = arenas_[worker];
+                record = arena[arena.push_zero()];
+            }
             copy_words(record, words, words_);
             // Pre-publication meta (the canonical-min witness link and
             // depth): racing readers that learn the id below must never
             // see it uninitialised.
             copy_words(record + words_, meta_init, meta_init_words);
-            records_[id] = record;
+            if (!compact_) records_[id] = record;
             table_[slot].store(pack(h, id), std::memory_order_release);
             return {id, true};
         }
@@ -132,7 +155,7 @@ ConcurrentMarkingStore::InternResult ConcurrentMarkingStore::intern(
                 spin_pause(spins++);
                 continue;
             }
-            if (std::memcmp(records_[entry_id], words,
+            if (std::memcmp((*this)[entry_id], words,
                             words_ * sizeof(std::uint64_t)) == 0) {
                 return {entry_id, false};
             }
@@ -156,7 +179,7 @@ std::uint32_t ConcurrentMarkingStore::find(
         // before the cap was hit can live beyond them, so skip past.
         if (entry_id != kCapacityId && entry_id != kPendingId &&
             (entry & 0xFFFFFFFF00000000ULL) == fragment &&
-            std::memcmp(records_[entry_id], words,
+            std::memcmp((*this)[entry_id], words,
                         words_ * sizeof(std::uint64_t)) == 0) {
             return entry_id;
         }
@@ -165,11 +188,26 @@ std::uint32_t ConcurrentMarkingStore::find(
 }
 
 void ConcurrentMarkingStore::reserve(std::size_t needed) {
-    if (records_.size() < needed) {
+    if (compact_) {
+        // Zero-provision blocks covering `needed`: make_unique
+        // value-initialises, so a winner's record slot starts zeroed.
+        const std::size_t rpb = std::size_t{cmask_} + 1;
+        while (creserved_ < needed) {
+            cblocks_.push_back(std::make_unique<std::uint64_t[]>(
+                rpb * record_words_));
+            creserved_ += rpb;
+        }
+    } else if (records_.size() < needed) {
         records_.resize(needed, nullptr);
     }
     std::size_t want = table_size_;
-    while (needed * 10 >= want * 7) want *= 2;
+    if (compact_) {
+        // 7/8 ceiling: the probe footprint the compact slots buy back
+        // funds a denser table (see the class comment).
+        while (needed * 8 >= want * 7) want *= 2;
+    } else {
+        while (needed * 10 >= want * 7) want *= 2;
+    }
     if (want == table_size_) return;
     auto table = std::make_unique<std::atomic<std::uint64_t>[]>(want);
     for (std::size_t i = 0; i < want; ++i) {
@@ -178,7 +216,7 @@ void ConcurrentMarkingStore::reserve(std::size_t needed) {
     const std::size_t mask = want - 1;
     const std::size_t count = count_.load(std::memory_order_acquire);
     for (std::uint32_t id = 0; id < count; ++id) {
-        const std::uint64_t h = hash(records_[id]);
+        const std::uint64_t h = hash((*this)[id]);
         std::size_t slot = static_cast<std::size_t>(h) & mask;
         while (table[slot].load(std::memory_order_relaxed) != kEmptySlot) {
             slot = (slot + 1) & mask;
@@ -190,6 +228,10 @@ void ConcurrentMarkingStore::reserve(std::size_t needed) {
 }
 
 std::size_t ConcurrentMarkingStore::record_bytes() const noexcept {
+    if (compact_) {
+        return cblocks_.size() * (std::size_t{cmask_} + 1) *
+               record_words_ * sizeof(std::uint64_t);
+    }
     std::size_t bytes = 0;
     for (const util::WordArena& arena : arenas_) {
         bytes += arena.resident_bytes();
@@ -199,7 +241,19 @@ std::size_t ConcurrentMarkingStore::record_bytes() const noexcept {
 
 std::size_t ConcurrentMarkingStore::resident_bytes() const noexcept {
     return record_bytes() + table_size_ * sizeof(std::uint64_t) +
-           records_.capacity() * sizeof(std::uint64_t*);
+           records_.capacity() * sizeof(std::uint64_t*) +
+           cblocks_.capacity() * sizeof(void*);
+}
+
+StoreStats ConcurrentMarkingStore::stats() const noexcept {
+    StoreStats s;
+    s.compact = compact_;
+    s.records = size();
+    s.slots = table_size_;
+    s.table_bytes = table_size_ * sizeof(std::uint64_t) +
+                    records_.capacity() * sizeof(std::uint64_t*);
+    s.arena_bytes = record_bytes();
+    return s;
 }
 
 // -------------------------------------- ParallelReachabilityExplorer --
@@ -269,7 +323,12 @@ public:
                      ? reuse->store()
                      : owned_store_.emplace(
                            mwords_, wmeta_words_ + (diet_ ? 0 : twords_),
-                           workers)),
+                           workers, options.compact_store)),
+          checkpoint_path_(options.checkpoint_path),
+          save_every_layers_(options.checkpoint_every != 0
+                                 ? options.checkpoint_every
+                                 : 1),
+          resume_(options.resume.get()),
           resolved_(query.goals.size(), 0),
           witness_id_(query.goals.size(), ConcurrentMarkingStore::kNone),
           ctx_(workers),
@@ -307,6 +366,18 @@ public:
     }
 
     MultiResult run();
+
+    /// Footprint snapshot for the abort path: whatever was interned and
+    /// resident when the pass died. Serial only (workers joined).
+    MemoryStats footprint() const {
+        MemoryStats stats;
+        stats.records = store_.size();
+        stats.record_bytes = store_.record_bytes();
+        stats.resident_bytes = resident_now();
+        stats.peak_bytes = std::max(peak_bytes_, stats.resident_bytes);
+        stats.store = store_.stats();
+        return stats;
+    }
 
 private:
     /// Builds the pass's reduction context, or nullopt when reduction is
@@ -899,6 +970,153 @@ private:
         return bytes;
     }
 
+    /// Serial (barrier completion): snapshots the pass at the layer
+    /// boundary layer_done() just stitched — records with their witness
+    /// meta in dense id order, the next frontier's ids, every verdict
+    /// accumulator. Enabled rows are derived data and stay out; resume
+    /// recomputes the frontier's. Throws on IO failure (caught by the
+    /// caller and routed through the pass's error path).
+    void save_checkpoint() const {
+        StoreCheckpoint ckpt;
+        ckpt.engine = StoreCheckpoint::Engine::kParallel;
+        ckpt.structure_digest = compiled_.structure_digest();
+        ckpt.marking_words = static_cast<std::uint32_t>(mwords_);
+        ckpt.meta_words = static_cast<std::uint32_t>(wmeta_words_);
+        const std::size_t n = store_.size();
+        const std::size_t stride = mwords_ + wmeta_words_;
+        ckpt.record_count = n;
+        ckpt.records.reserve(n * stride);
+        for (std::uint32_t id = 0; id < n; ++id) {
+            const std::uint64_t* rec = store_[id];
+            ckpt.records.insert(ckpt.records.end(), rec, rec + stride);
+        }
+        ckpt.head = n;
+        ckpt.next_layer_begin = n;
+        ckpt.depth = depth_;
+        ckpt.frontier = frontier_;
+        ckpt.goal_hits = witness_id_;
+        for (const WorkerCtx& ctx : ctx_) {
+            ckpt.edges_explored += ctx.edges;
+            ckpt.deadlocks.insert(ckpt.deadlocks.end(),
+                                  ctx.deadlocks.begin(),
+                                  ctx.deadlocks.end());
+            for (const LocalViolation& v : ctx.violations) {
+                ckpt.violations.push_back(
+                    {v.state, v.depth, v.fired.value, v.disabled.value});
+            }
+            ckpt.por.merge(ctx.por);
+        }
+        ckpt.save(checkpoint_path_);
+    }
+
+    /// Rebuilds the pass from resume_: re-interns the records in dense
+    /// id order (layout-independent), seeds every verdict accumulator
+    /// into worker 0's context, and recomputes the frontier's enabled
+    /// rows. Returns false when the resumed pass has nothing left to do
+    /// (caller assembles immediately). Throws on any mismatch — a resume
+    /// point must never silently restart or corrupt an exploration.
+    bool seed_from_checkpoint() {
+        const StoreCheckpoint& ckpt = *resume_;
+        if (ckpt.engine != StoreCheckpoint::Engine::kParallel) {
+            throw std::runtime_error(
+                "resume: checkpoint was written by the sequential engine");
+        }
+        if (ckpt.structure_digest != compiled_.structure_digest()) {
+            throw std::runtime_error(
+                "resume: checkpoint structural digest does not match this "
+                "net — the interned ids describe a different structure");
+        }
+        if (ckpt.marking_words != mwords_ ||
+            ckpt.meta_words != wmeta_words_) {
+            throw std::runtime_error(
+                "resume: checkpoint record geometry does not match");
+        }
+        if (ckpt.record_count == 0 || ckpt.record_count > cap_) {
+            throw std::runtime_error(
+                "resume: checkpoint record count is out of range for this "
+                "pass's max_states");
+        }
+        if (ckpt.goal_hits.size() != query_.goals.size()) {
+            throw std::runtime_error(
+                "resume: checkpoint goal count does not match the query");
+        }
+        const Marking m0 = net_.initial_marking();
+        copy_words(ctx_[0].child.data(), m0.word_data(), m0.word_count());
+        if (std::memcmp(ckpt.record(0), ctx_[0].child.data(),
+                        mwords_ * sizeof(std::uint64_t)) != 0) {
+            throw std::runtime_error(
+                "resume: checkpoint root marking differs from this net's "
+                "initial marking (reconfigured since the checkpoint?)");
+        }
+        store_.reserve(static_cast<std::size_t>(ckpt.record_count));
+        for (std::uint64_t id = 0; id < ckpt.record_count; ++id) {
+            const std::uint64_t* rec = ckpt.record(id);
+            const auto interned = store_.intern(rec, 0, cap_, rec + mwords_,
+                                                wmeta_words_);
+            if (!interned.inserted || interned.id != id) {
+                throw std::runtime_error(
+                    "resume: checkpoint records are not unique dense-id "
+                    "markings — corrupted or foreign checkpoint");
+            }
+        }
+        depth_ = static_cast<std::size_t>(ckpt.depth);
+        ctx_[0].edges = static_cast<std::size_t>(ckpt.edges_explored);
+        ctx_[0].por = ckpt.por;
+        ctx_[0].por.active = false;  // activity is this pass's, not saved
+        ctx_[0].deadlocks = ckpt.deadlocks;
+        for (const StoreCheckpoint::Violation& v : ckpt.violations) {
+            ctx_[0].violations.push_back({v.state, v.depth,
+                                          TransitionId{v.fired},
+                                          TransitionId{v.disabled}});
+        }
+        unresolved_ = 0;
+        for (std::size_t g = 0; g < query_.goals.size(); ++g) {
+            witness_id_[g] = ckpt.goal_hits[g];
+            resolved_[g] =
+                ckpt.goal_hits[g] != ConcurrentMarkingStore::kNone ? 1 : 0;
+            if (!resolved_[g]) ++unresolved_;
+        }
+        frontier_ = ckpt.frontier;
+        if (frontier_.empty() || (can_early_stop_ && unresolved_ == 0)) {
+            return false;  // the checkpointed pass was already settled
+        }
+        // Frontier enabled rows are derived data: recompute them (and the
+        // tight layout's ample halves) exactly where discovery would have
+        // put them — worker 0's read-parity arena, or the record interior.
+        std::size_t out_edges = 0;
+        frontier_rows_.reserve(frontier_.size());
+        for (const std::uint32_t id : frontier_) {
+            if (id >= ckpt.record_count) {
+                throw std::runtime_error(
+                    "resume: checkpoint frontier references an id beyond "
+                    "its own records");
+            }
+            std::uint64_t* row;
+            if (diet_) {
+                util::WordArena& arena = ctx_[0].earena[1 - write_parity_];
+                row = arena[arena.push_zero()];
+            } else {
+                row = store_.record_mut(id) + erec_off_;
+            }
+            compiled_.enabled_set(store_[id], row);
+            if (tight_) {
+                std::uint64_t* ample_row = row + twords_;
+                if (!por_->reduce(store_[id], row, ample_row,
+                                  ctx_[0].por_scratch)) {
+                    copy_words(ample_row, row, twords_);
+                }
+                out_edges += enabled_popcount(ample_row);
+            } else {
+                out_edges += enabled_popcount(row);
+            }
+            frontier_rows_.push_back(row);
+        }
+        store_.reserve(
+            std::min(store_.size() + out_edges, cap_));
+        prepare_frontier_schedule();
+        return true;
+    }
+
     /// Serial reuse-mode provisioning: the next layer can insert at most
     /// min(out-edge count, remaining claim budget) new records into the
     /// shared store — capping physical growth at the budget is what makes
@@ -985,6 +1203,25 @@ private:
             (query_.persistence_stop_at_first && violations != 0)) {
             done_ = true;
             return;
+        }
+
+        if (!checkpoint_path_.empty() &&
+            ++layers_since_save_ >= save_every_layers_) {
+            layers_since_save_ = 0;
+            try {
+                save_checkpoint();
+            } catch (...) {
+                // IO failure must surface as an aborted pass, not a
+                // silently skipped resume point: route it through the
+                // same error path a worker exception takes.
+                {
+                    const std::lock_guard<std::mutex> lock(error_mu_);
+                    if (!error_) error_ = std::current_exception();
+                }
+                abort_now_.store(true, std::memory_order_release);
+                done_ = true;
+                return;
+            }
         }
 
         if (reuse_ != nullptr) {
@@ -1095,6 +1332,10 @@ private:
         return trace;
     }
 
+    /// Shared worker-pool loop: runs barrier-synchronized layers until
+    /// done_, then assembles (fresh and resumed passes both land here).
+    MultiResult run_layers();
+
     MultiResult assemble();
 
     const Net& net_;
@@ -1128,6 +1369,14 @@ private:
     /// to the ReuseStore's shared one instead.
     std::optional<ConcurrentMarkingStore> owned_store_;
     ConcurrentMarkingStore& store_;
+    /// Periodic resume-point persistence (empty = off). Saved in the
+    /// barrier's serial step every `save_every_layers_` completed layers,
+    /// while every worker is parked — the records are quiescent, so the
+    /// snapshot is a consistent layer boundary by construction.
+    const std::string checkpoint_path_;
+    const std::size_t save_every_layers_;
+    const StoreCheckpoint* const resume_;  ///< resume point, or null
+    std::size_t layers_since_save_ = 0;
     std::uint64_t epoch_ = 0;  ///< reuse pass epoch (claims' high half)
     /// Records claimed (= states reached) this pass — reuse mode's
     /// states_explored and its truncation budget.
@@ -1167,6 +1416,10 @@ private:
 };
 
 MultiResult ParallelPass::run() {
+    if (resume_ != nullptr) {
+        if (!seed_from_checkpoint()) return assemble();
+        return run_layers();
+    }
     // Root state, interned and evaluated serially (depth 0).
     const Marking m0 = net_.initial_marking();
     copy_words(ctx_[0].child.data(), m0.word_data(), m0.word_count());
@@ -1239,6 +1492,10 @@ MultiResult ParallelPass::run() {
         prepare_frontier_schedule();
     }
 
+    return run_layers();
+}
+
+MultiResult ParallelPass::run_layers() {
     auto completion = [this]() noexcept { layer_done(); };
     std::barrier sync(static_cast<std::ptrdiff_t>(workers_), completion);
 
@@ -1291,6 +1548,7 @@ MultiResult ParallelPass::assemble() {
     result.memory.resident_bytes = resident_now();
     result.memory.peak_bytes =
         std::max(peak_bytes_, result.memory.resident_bytes);
+    result.memory.store = store_.stats();
 
     if (query_.collect_deadlocks) {
         std::vector<std::uint32_t> dead;
@@ -1398,6 +1656,23 @@ MultiResult ParallelReachabilityExplorer::run_query(
         ReachabilityExplorer sequential(*compiled_, options_);
         return sequential.run_query(query);
     }
+    if (!options_.checkpoint_path.empty() || options_.resume != nullptr) {
+        // Checkpoints snapshot the records' witness meta; the re-sweep
+        // mode keeps its tree in layer lists that are never serialized,
+        // and a shared ReuseStore's records outlive any single pass's
+        // resume point. Refuse loudly — a resume point that silently
+        // degraded would be worse than none.
+        if (options_.witness_tree !=
+            ReachabilityOptions::WitnessTree::kCanonicalCas) {
+            throw std::runtime_error(
+                "checkpoint: the parallel engine checkpoints only the "
+                "canonical-CAS witness layout");
+        }
+        if (options_.reuse != nullptr) {
+            throw std::runtime_error(
+                "checkpoint: incompatible with a cross-pass ReuseStore");
+        }
+    }
     // Cross-pass reuse needs the canonical-CAS record layout (witness
     // meta + resident rows); other modes — and a store whose dimensions
     // don't match this net — fall back to a scratch pass.
@@ -1409,7 +1684,18 @@ MultiResult ParallelReachabilityExplorer::run_query(
         reuse = options_.reuse.get();
     }
     ParallelPass pass(net_, *compiled_, options_, query, threads_, reuse);
-    return pass.run();
+    try {
+        MultiResult result = pass.run();
+        result.reuse_fallback = options_.reuse != nullptr && reuse == nullptr;
+        return result;
+    } catch (const ExplorationAborted&) {
+        throw;
+    } catch (const std::exception& e) {
+        // The pass died mid-exploration (goal predicate threw, checkpoint
+        // write failed, resume point rejected): attach the interned
+        // footprint so accounting survives the abort.
+        throw ExplorationAborted(e.what(), pass.footprint());
+    }
 }
 
 }  // namespace rap::petri

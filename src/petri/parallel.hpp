@@ -32,12 +32,25 @@ namespace rap::petri {
 /// Capacity is fixed while workers run: `reserve` must have provisioned
 /// at least as many records as the layer can insert (the engine bounds a
 /// layer's inserts by the frontier's out-edge count).
+///
+/// The `compact` layout (ReachabilityOptions::compact_store) drops the
+/// id->record pointer index and the per-worker arenas entirely: records
+/// live at arena positions derived from their dense id (`record =
+/// cblocks[id >> shift] + (id & mask) * record_words`), so the id IS the
+/// back-reference and the 8-bytes-per-state pointer index disappears.
+/// Blocks are provisioned zeroed by `reserve` (serial, between layers) —
+/// a winning intern writes payload + pre-publication meta into its id's
+/// slot and publishes the table entry with release ordering, exactly the
+/// legacy happens-before shape. Probing stays linear (robin-hood
+/// displacement is not lock-free), but the table tolerates a 7/8 load
+/// ceiling vs the legacy 0.7 thanks to the denser probe footprint.
 class ConcurrentMarkingStore {
 public:
     static constexpr std::uint32_t kNone = UINT32_MAX;
 
     ConcurrentMarkingStore(std::size_t marking_words,
-                           std::size_t meta_words, std::size_t workers);
+                           std::size_t meta_words, std::size_t workers,
+                           bool compact = false);
 
     /// Records interned so far, clamped to the construction-independent
     /// `capacity_limit` the callers passed (losers of the capacity race
@@ -45,12 +58,13 @@ public:
     std::size_t size() const noexcept;
 
     const std::uint64_t* operator[](std::uint32_t id) const noexcept {
-        return records_[id];
+        return compact_ ? compact_record(id) : records_[id];
     }
     std::uint64_t* record_mut(std::uint32_t id) noexcept {
-        return records_[id];
+        return compact_ ? compact_record(id) : records_[id];
     }
     std::size_t meta_offset() const noexcept { return words_; }
+    bool compact() const noexcept { return compact_; }
 
     struct InternResult {
         std::uint32_t id = kNone;  ///< kNone when the limit blocked insert
@@ -90,14 +104,23 @@ public:
     /// post-pass canonical-tree sweep, after all interning is done.
     std::uint32_t find(const std::uint64_t* words) const noexcept;
 
-    /// Record payload bytes resident in the per-worker arenas.
+    /// Record payload bytes resident in the per-worker arenas (legacy)
+    /// or the id-indexed block run (compact).
     std::size_t record_bytes() const noexcept;
 
     /// Records + interning table + id->record index. Serial only.
     std::size_t resident_bytes() const noexcept;
 
+    /// Interning-table geometry for rap_store_* metrics. Serial only.
+    StoreStats stats() const noexcept;
+
 private:
     std::uint64_t hash(const std::uint64_t* words) const noexcept;
+
+    std::uint64_t* compact_record(std::uint32_t id) const noexcept {
+        return cblocks_[id >> cshift_].get() +
+               static_cast<std::size_t>(id & cmask_) * record_words_;
+    }
 
     // Slot states: empty, pending (claimed, record not yet published),
     // or final packed (hash fragment << 32 | id). Pending carries the
@@ -113,11 +136,19 @@ private:
 
     std::size_t words_;         ///< marking payload words (hashed, deduped)
     std::size_t record_words_;  ///< payload + meta words per record
+    bool compact_ = false;
     std::atomic<std::uint32_t> count_{0};
     std::size_t table_size_ = 0;  ///< power of two
     std::unique_ptr<std::atomic<std::uint64_t>[]> table_;
     std::vector<std::uint64_t*> records_;  ///< id -> record, set by winner
     std::vector<util::WordArena> arenas_;  ///< one per worker
+    // Compact layout: id-indexed zero-provisioned blocks, 2^cshift_
+    // records each. Only `reserve` (serial) grows this, so worker reads
+    // of cblocks_ race nothing.
+    std::size_t cshift_ = 0;
+    std::uint32_t cmask_ = 0;
+    std::size_t creserved_ = 0;  ///< records covered by compact blocks
+    std::vector<std::unique_ptr<std::uint64_t[]>> cblocks_;
 };
 
 /// Parallel-frontier breadth-first reachability over 1-safe nets: the

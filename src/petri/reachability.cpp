@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "petri/checkpoint.hpp"
 #include "petri/reuse.hpp"
 #include "util/arena.hpp"
 #include "util/strings.hpp"
@@ -47,14 +48,16 @@ ReachabilityExplorer::ReachabilityExplorer(const Net& net,
       options_(options),
       owned_(std::in_place, net),
       compiled_(&*owned_),
-      store_(compiled_->marking_words(), /*meta_words=*/1) {}
+      store_(compiled_->marking_words(), /*meta_words=*/1,
+             options_.compact_store) {}
 
 ReachabilityExplorer::ReachabilityExplorer(const CompiledNet& compiled,
                                            ReachabilityOptions options)
     : net_(compiled.net()),
       options_(options),
       compiled_(&compiled),
-      store_(compiled.marking_words(), /*meta_words=*/1) {}
+      store_(compiled.marking_words(), /*meta_words=*/1,
+             options_.compact_store) {}
 
 ReachabilityResult ReachabilityExplorer::find(const Predicate& goal) {
     MultiQuery query;
@@ -96,9 +99,54 @@ std::size_t ReachabilityExplorer::count_states() {
 }
 
 MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
-    if (options_.reuse && options_.reuse->attach(*compiled_, 1)) {
-        return run_query_reused(query, *options_.reuse);
+    if (options_.reuse != nullptr &&
+        (!options_.checkpoint_path.empty() ||
+         options_.resume != nullptr)) {
+        // A shared ReuseStore's records outlive any single pass's resume
+        // point; a checkpoint of it would resurrect other passes' states.
+        throw std::runtime_error(
+            "checkpoint: incompatible with a cross-pass ReuseStore");
     }
+    if (options_.reuse && options_.reuse->attach(*compiled_, 1)) {
+        try {
+            return run_query_reused(query, *options_.reuse);
+        } catch (const ExplorationAborted&) {
+            throw;
+        } catch (const std::exception& e) {
+            MemoryStats stats;
+            const ConcurrentMarkingStore& s = options_.reuse->store();
+            stats.records = s.size();
+            stats.record_bytes = s.record_bytes();
+            stats.resident_bytes = s.resident_bytes();
+            stats.peak_bytes = stats.resident_bytes;
+            throw ExplorationAborted(e.what(), stats);
+        }
+    }
+    try {
+        MultiResult result = run_query_scratch(query);
+        // Scratch although reuse was requested: a dimension-mismatched
+        // store after a topology change. Surfaced (not silent) so
+        // flow-level counters can see incremental sweeps going cold.
+        result.reuse_fallback = options_.reuse != nullptr;
+        return result;
+    } catch (const ExplorationAborted&) {
+        throw;
+    } catch (const std::exception& e) {
+        // The pass died mid-exploration (a goal predicate threw, a
+        // checkpoint write failed). The interned footprint is real and
+        // still resident — attach it so accounting survives the abort.
+        MemoryStats stats;
+        stats.records = store_.size();
+        stats.record_bytes = store_.record_bytes();
+        stats.resident_bytes = store_.resident_bytes();
+        stats.peak_bytes = stats.resident_bytes;
+        stats.store = store_.stats();
+        throw ExplorationAborted(e.what(), stats);
+    }
+}
+
+MultiResult ReachabilityExplorer::run_query_scratch(
+    const MultiQuery& query) {
     MultiResult result;
     result.goals.resize(query.goals.size());
 
@@ -119,6 +167,13 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
                                 !query.collect_deadlocks &&
                                 !query.check_persistence &&
                                 !query.goals.empty();
+
+    // Verdicts accumulate as state ids and are materialized only at the
+    // end of the pass: witness links in the records are immutable once
+    // written, so late materialization is bit-identical — and an id list
+    // is exactly what a checkpoint can carry.
+    std::vector<std::uint32_t> deadlock_ids;
+    std::vector<StoreCheckpoint::Violation> violation_ids;
 
     // Reused scratch buffers — the hot loop performs no heap allocation.
     Marking scratch(net_.place_count());
@@ -160,7 +215,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
             }
         }
         if (dead && query.collect_deadlocks) {
-            result.deadlocks.push_back(materialize(id));
+            deadlock_ids.push_back(id);
         }
         if (unmatched != 0) {
             bool scratch_ready = false;
@@ -188,17 +243,101 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     };
 
     const Marking m0 = net_.initial_marking();
-    copy_words(child.data(), m0.word_data(), m0.word_count());
-    const auto root = store_.intern(child.data(), cap);
-    store_.meta(root.id)[0] = pack_visit(kNoParent, 0);
-    enabled_store.push_zero();
-    compiled_->enabled_set(store_[root.id], enabled_store[root.id]);
-    visit(root.id);
+    std::uint32_t start_head = 0;
+    std::uint32_t next_layer_begin = 1;
+    if (options_.resume == nullptr) {
+        copy_words(child.data(), m0.word_data(), m0.word_count());
+        const auto root = store_.intern(child.data(), cap);
+        store_.meta(root.id)[0] = pack_visit(kNoParent, 0);
+        enabled_store.push_zero();
+        compiled_->enabled_set(store_[root.id], enabled_store[root.id]);
+        visit(root.id);
+    } else {
+        const StoreCheckpoint& ckpt = *options_.resume;
+        if (ckpt.engine != StoreCheckpoint::Engine::kSequential) {
+            throw std::runtime_error(
+                "resume: checkpoint was written by the parallel engine");
+        }
+        if (ckpt.structure_digest != compiled_->structure_digest()) {
+            throw std::runtime_error(
+                "resume: checkpoint structural digest does not match this "
+                "net — the interned ids describe a different structure");
+        }
+        if (ckpt.marking_words != mwords || ckpt.meta_words != 1) {
+            throw std::runtime_error(
+                "resume: checkpoint record geometry does not match");
+        }
+        if (ckpt.record_count == 0 || ckpt.record_count > cap ||
+            ckpt.head > ckpt.record_count ||
+            ckpt.next_layer_begin > ckpt.record_count) {
+            throw std::runtime_error(
+                "resume: checkpoint cursor is out of range for this "
+                "pass's max_states");
+        }
+        if (ckpt.goal_hits.size() != query.goals.size()) {
+            throw std::runtime_error(
+                "resume: checkpoint goal count does not match the query");
+        }
+        copy_words(child.data(), m0.word_data(), m0.word_count());
+        if (std::memcmp(ckpt.record(0), child.data(),
+                        mwords * sizeof(std::uint64_t)) != 0) {
+            throw std::runtime_error(
+                "resume: checkpoint root marking differs from this net's "
+                "initial marking (reconfigured since the checkpoint?)");
+        }
+        // Re-intern in id order: dense discovery-order ids make the store
+        // rebuild layout-independent — a checkpoint written under either
+        // table layout resumes under either.
+        for (std::uint64_t id = 0; id < ckpt.record_count; ++id) {
+            const std::uint64_t* rec = ckpt.record(id);
+            const auto interned = store_.intern(rec, cap);
+            if (!interned.inserted || interned.id != id) {
+                throw std::runtime_error(
+                    "resume: checkpoint records are not unique dense-id "
+                    "markings — corrupted or foreign checkpoint");
+            }
+            store_.meta(interned.id)[0] = rec[mwords];
+        }
+        start_head = static_cast<std::uint32_t>(ckpt.head);
+        next_layer_begin =
+            static_cast<std::uint32_t>(ckpt.next_layer_begin);
+        result.edges_explored = ckpt.edges_explored;
+        const bool por_active = result.por.active;
+        result.por = ckpt.por;
+        result.por.active = por_active;
+        goal_hit = ckpt.goal_hits;
+        unmatched = 0;
+        for (std::uint32_t hit : goal_hit) {
+            if (hit == kNoParent) ++unmatched;
+        }
+        if (can_early_stop && unmatched == 0) stop = true;
+        deadlock_ids = ckpt.deadlocks;
+        violation_ids = ckpt.violations;
+        // Enabled rows are derived data: skip the (released, never read
+        // again) prefix and recompute only the live frontier's rows.
+        enabled_store.skip_to(start_head);
+        for (std::uint64_t id = start_head; id < ckpt.record_count;
+             ++id) {
+            enabled_store.push_zero();
+            compiled_->enabled_set(store_[id], enabled_store[id]);
+        }
+    }
 
     auto resident_now = [&]() {
         return store_.resident_bytes() + enabled_store.resident_bytes();
     };
     std::size_t peak_bytes = resident_now();
+    // Peak sampling keys off the allocation geometry, not a head-index
+    // stride: the resident footprint only moves when an arena gains a
+    // block or the interning table grows, so re-sampling whenever this
+    // signature changes captures every spike — including ones between
+    // release_before boundaries that stride sampling misses.
+    std::size_t geometry_sig =
+        enabled_store.allocated_blocks() + store_.resident_bytes();
+
+    const std::size_t save_every = options_.checkpoint_every != 0
+                                       ? options_.checkpoint_every
+                                       : std::size_t{1} << 16;
 
     // The BFS frontier is implicit: ids are dense discovery-order
     // indices and the queue is FIFO, so the frontier is exactly the id
@@ -210,13 +349,36 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     // expanded in the next one. The parallel engine derives the same
     // predicate from per-record depth words, so both engines accept the
     // same ample sets and explore the identical reduced graph.
-    std::uint32_t next_layer_begin = 1;
-    for (std::uint32_t head = 0; head < store_.size() && !stop; ++head) {
+    for (std::uint32_t head = start_head; head < store_.size() && !stop;
+         ++head) {
         if (options_.stop && (head & 2047u) == 0 && options_.stop()) {
             // Cooperative stop (sweep cancellation / timeout): report the
             // pass as truncated — whatever was explored is inconclusive.
             result.truncated = true;
             break;
+        }
+        if (!options_.checkpoint_path.empty() && head != start_head &&
+            head % save_every == 0) {
+            StoreCheckpoint ckpt;
+            ckpt.engine = StoreCheckpoint::Engine::kSequential;
+            ckpt.structure_digest = compiled_->structure_digest();
+            ckpt.marking_words = static_cast<std::uint32_t>(mwords);
+            ckpt.meta_words = 1;
+            ckpt.record_count = store_.size();
+            ckpt.records.reserve(store_.size() * (mwords + 1));
+            for (std::uint32_t id = 0; id < store_.size(); ++id) {
+                const std::uint64_t* rec = store_[id];
+                ckpt.records.insert(ckpt.records.end(), rec,
+                                    rec + mwords + 1);
+            }
+            ckpt.edges_explored = result.edges_explored;
+            ckpt.head = head;
+            ckpt.next_layer_begin = next_layer_begin;
+            ckpt.goal_hits = goal_hit;
+            ckpt.deadlocks = deadlock_ids;
+            ckpt.violations = violation_ids;
+            ckpt.por = result.por;
+            ckpt.save(options_.checkpoint_path);
         }
         if (options_.frontier_enabled_cache && head % rpb == 0) {
             // Frontier-only enabled-set cache: every state below `head`
@@ -257,8 +419,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
             compiled_->fire(child.data(), t);
 
             if (check_edges && query.check_persistence &&
-                result.persistence_violations.size() <
-                    query.persistence_max_violations) {
+                violation_ids.size() < query.persistence_max_violations) {
                 for (std::uint32_t u : compiled_->affected(t)) {
                     if (u == t.value) continue;
                     if (((enabled[u / kWordBits] >> (u % kWordBits)) &
@@ -271,13 +432,12 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
                         query.persistence_exempt(net_, t, ut)) {
                         continue;
                     }
-                    result.persistence_violations.push_back(
-                        {materialize(head), t, ut, rebuild_trace(head)});
+                    violation_ids.push_back({head, 0, t.value, u});
                     if (query.persistence_stop_at_first) {
                         stop = true;
                         return;
                     }
-                    if (result.persistence_violations.size() >=
+                    if (violation_ids.size() >=
                         query.persistence_max_violations) {
                         break;
                     }
@@ -299,6 +459,14 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
             enabled_store.push(enabled);
             compiled_->update_enabled(child.data(), t,
                                       enabled_store[interned.id]);
+            const std::size_t sig =
+                enabled_store.allocated_blocks() + store_.resident_bytes();
+            if (sig != geometry_sig) {
+                // An arena block or table growth just landed: sample the
+                // spike at the boundary where it happens.
+                geometry_sig = sig;
+                peak_bytes = std::max(peak_bytes, resident_now());
+            }
             visit(interned.id);
         };
 
@@ -319,8 +487,7 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
         };
 
         if (persistence_prepass &&
-            result.persistence_violations.size() <
-                query.persistence_max_violations) {
+            violation_ids.size() < query.persistence_max_violations) {
             for (std::size_t w = 0; w < twords && !stop; ++w) {
                 std::uint64_t bits = enabled[w];
                 while (bits != 0 && !stop) {
@@ -344,19 +511,17 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
                             query.persistence_exempt(net_, t, ut)) {
                             continue;
                         }
-                        result.persistence_violations.push_back(
-                            {materialize(head), t, ut,
-                             rebuild_trace(head)});
+                        violation_ids.push_back({head, 0, t.value, u});
                         if (query.persistence_stop_at_first) {
                             stop = true;
                             break;
                         }
-                        if (result.persistence_violations.size() >=
+                        if (violation_ids.size() >=
                             query.persistence_max_violations) {
                             break;
                         }
                     }
-                    if (result.persistence_violations.size() >=
+                    if (violation_ids.size() >=
                         query.persistence_max_violations) {
                         break;
                     }
@@ -409,6 +574,17 @@ MultiResult ReachabilityExplorer::run_query(const MultiQuery& query) {
     result.memory.resident_bytes = resident_now();
     result.memory.peak_bytes =
         std::max(peak_bytes, result.memory.resident_bytes);
+    result.memory.store = store_.stats();
+    result.deadlocks.reserve(deadlock_ids.size());
+    for (std::uint32_t id : deadlock_ids) {
+        result.deadlocks.push_back(materialize(id));
+    }
+    result.persistence_violations.reserve(violation_ids.size());
+    for (const StoreCheckpoint::Violation& v : violation_ids) {
+        result.persistence_violations.push_back(
+            {materialize(v.state), TransitionId{v.fired},
+             TransitionId{v.disabled}, rebuild_trace(v.state)});
+    }
     for (std::size_t g = 0; g < query.goals.size(); ++g) {
         ReachabilityResult& r = result.goals[g];
         r.states_explored = result.states_explored;
@@ -757,6 +933,7 @@ MultiResult ReachabilityExplorer::run_query_reused(const MultiQuery& query,
     result.memory.resident_bytes = store.resident_bytes();
     result.memory.peak_bytes =
         std::max(peak_bytes, result.memory.resident_bytes);
+    result.memory.store = store.stats();
     for (std::size_t g = 0; g < query.goals.size(); ++g) {
         ReachabilityResult& r = result.goals[g];
         r.states_explored = result.states_explored;

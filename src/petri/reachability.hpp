@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,8 @@
 
 namespace rap::petri {
 
-class ReuseStore;  // petri/reuse.hpp — cross-pass store retention
+class ReuseStore;       // petri/reuse.hpp — cross-pass store retention
+class StoreCheckpoint;  // petri/checkpoint.hpp — serialized resume point
 
 /// A firing sequence from the initial marking, used as counterexample
 /// witness (what MPSAT prints as a violation trace).
@@ -99,10 +101,41 @@ struct ReachabilityOptions {
     /// claims resident markings per-pass instead of re-interning them —
     /// see petri/reuse.hpp for the contract. Results are bit-identical
     /// to a scratch pass at the same thread count. Falls back to scratch
-    /// silently when the store's record dimensions don't match the net,
-    /// or (parallel engine) when witness_tree != kCanonicalCas. Passes
-    /// sharing one ReuseStore must be externally sequenced.
+    /// when the store's record dimensions don't match the net, or
+    /// (parallel engine) when witness_tree != kCanonicalCas — counted in
+    /// ReuseStore::fallbacks() and MultiResult::reuse_fallback so a
+    /// topology change degrading every "incremental" pass to cold is
+    /// visible. Passes sharing one ReuseStore must be externally
+    /// sequenced.
     std::shared_ptr<ReuseStore> reuse;
+    /// Compact interning layout (the 100M-state capacity tier): an
+    /// id-less robin-hood table whose slots carry arena back-references,
+    /// dropping the legacy per-id hash/pointer index and a quarter of the
+    /// slot head-room (~30% of the non-record overhead; see
+    /// MarkingStore/StoreStats). Exploration results are bit-identical to
+    /// the default layout at every thread count. Ignored by reused passes
+    /// — the attached ReuseStore owns its own (legacy) table.
+    bool compact_store = false;
+    /// When non-empty, the exploration periodically serializes a
+    /// petri::StoreCheckpoint here (atomically: tmp file + rename) so a
+    /// killed pass can resume instead of rerunning from t=0. The
+    /// sequential engine checkpoints every `checkpoint_every` expanded
+    /// states, the parallel engine every `checkpoint_every` completed BFS
+    /// layers (in the barrier's serial step; it requires the default
+    /// kCanonicalCas witness tree and no attached ReuseStore). A failed
+    /// write aborts the pass with ExplorationAborted rather than run a
+    /// soak whose "checkpoints" silently don't exist.
+    std::string checkpoint_path;
+    /// Checkpoint cadence (states for the sequential engine, layers for
+    /// the parallel one); 0 picks a default (65536 states / 1 layer).
+    std::size_t checkpoint_every = 0;
+    /// Resume point: continue a previously checkpointed exploration
+    /// instead of starting from the initial marking. The checkpoint must
+    /// come from the same engine kind, net structure (structural digest)
+    /// and record geometry — anything else throws std::runtime_error.
+    /// The continued pass reproduces the uninterrupted run's
+    /// (states, edges, verdicts, witnesses) exactly.
+    std::shared_ptr<const StoreCheckpoint> resume;
 };
 
 /// Memory footprint of one exploration pass, for capacity planning at the
@@ -115,6 +148,22 @@ struct MemoryStats {
     /// frontier bookkeeping, at the end of the pass.
     std::size_t resident_bytes = 0;
     std::size_t peak_bytes = 0;  ///< max resident over the pass
+    /// Interning-table geometry (layout, slots, load factor, table vs
+    /// arena byte split) — the rap_store_* metrics source.
+    StoreStats store;
+};
+
+/// Thrown when an exploration dies mid-pass — a goal predicate threw, a
+/// checkpoint write failed — after states were already interned. Carries
+/// the footprint at the moment of death so callers can still account for
+/// partial-pass memory (flow::Sweep's peak-resident aggregation would
+/// otherwise under-report exactly the contended runs that die).
+class ExplorationAborted : public std::runtime_error {
+public:
+    ExplorationAborted(const std::string& what, MemoryStats stats)
+        : std::runtime_error(what), memory(stats) {}
+
+    MemoryStats memory;
 };
 
 struct ReachabilityResult {
@@ -185,6 +234,14 @@ struct MultiResult {
 
     std::vector<Marking> deadlocks;
     std::vector<PersistenceViolation> persistence_violations;
+
+    /// True when ReachabilityOptions::reuse was set but this pass ran
+    /// scratch anyway (record-dimension mismatch after a topology change,
+    /// or — parallel engine — a non-kCanonicalCas witness tree). The
+    /// verdicts are still exact; the incremental speed-up silently is
+    /// not, which is why verify::Verifier and flow::Sweep count these
+    /// into rap_reuse_fallbacks_total.
+    bool reuse_fallback = false;
 };
 
 /// Explicit-state breadth-first reachability over 1-safe nets, running on
@@ -241,6 +298,11 @@ private:
     /// every answer (including discovery-ordered deadlock lists and
     /// first-hit witnesses) is bit-identical to the scratch pass.
     MultiResult run_query_reused(const MultiQuery& query, ReuseStore& reuse);
+
+    /// The scratch-path pass body (private store_), factored out so
+    /// run_query can convert a mid-pass failure into ExplorationAborted
+    /// with the footprint at the moment of death attached.
+    MultiResult run_query_scratch(const MultiQuery& query);
 
     Trace rebuild_trace(std::uint32_t index) const;
     Marking materialize(std::uint32_t id) const;

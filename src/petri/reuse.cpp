@@ -16,7 +16,10 @@ bool ReuseStore::attach(const CompiledNet& compiled, std::size_t workers) {
         store_.emplace(mwords_, 2 + twords_, want_workers);
         return true;
     }
-    if (mwords != mwords_ || twords != twords_) return false;
+    if (mwords != mwords_ || twords != twords_) {
+        ++fallbacks_;
+        return false;
+    }
     store_->ensure_workers(want_workers);
     if (compiled.structure_digest() != digest_) {
         digest_ = compiled.structure_digest();

@@ -80,6 +80,14 @@ public:
     /// structure digest) — observability for tests and benches.
     std::size_t row_invalidations() const noexcept { return invalidations_; }
 
+    /// Attach refusals so far (record-dimension mismatches): each one is
+    /// a pass that silently went scratch despite reuse being requested.
+    /// Surfaced through MultiResult::reuse_fallback and the flow layer's
+    /// rap_reuse_fallbacks_total metric, so an incremental sweep that
+    /// quietly stopped being incremental is visible, not inferred from
+    /// wall-clock drift.
+    std::size_t fallbacks() const noexcept { return fallbacks_; }
+
     /// The record's per-pass claim word: epoch << 32 | depth (parallel
     /// passes) or epoch << 32 | discovery-order index (sequential
     /// passes). Callers must have ensured capacity past `id`.
@@ -118,6 +126,7 @@ private:
     std::uint32_t epoch_ = 0;         ///< claims at epoch 0 never match
     std::uint32_t geometry_rev_ = 1;  ///< row_rev_ entries start stale
     std::size_t invalidations_ = 0;
+    std::size_t fallbacks_ = 0;  ///< attach refusals (scratch fallbacks)
     std::size_t claim_cap_ = 0;
     std::unique_ptr<std::atomic<std::uint64_t>[]> claims_;
     std::vector<std::uint32_t> row_rev_;

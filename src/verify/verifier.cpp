@@ -55,15 +55,28 @@ petri::MultiResult Verifier::run_exploration(const petri::MultiQuery& query,
     ropts.por = options_.por;
     ropts.stop = options_.stop;
     ropts.reuse = options_.reuse;
+    ropts.compact_store = options_.compact_store;
+    ropts.checkpoint_path = options_.checkpoint_path;
+    ropts.checkpoint_every = options_.checkpoint_every;
+    ropts.resume = options_.resume;
     // The parallel explorer shards the BFS frontier over the shared
     // compiled artifact; at one (resolved) thread it delegates to the
     // sequential engine's exact code path.
     petri::ParallelReachabilityExplorer explorer(model_->compiled(), ropts);
     ++explorations_;
-    auto result = explorer.run_query(query);
-    last_memory_ = result.memory;
-    last_por_ = result.por;
-    return result;
+    try {
+        auto result = explorer.run_query(query);
+        last_memory_ = result.memory;
+        last_por_ = result.por;
+        if (result.reuse_fallback) ++reuse_fallbacks_;
+        return result;
+    } catch (const petri::ExplorationAborted& e) {
+        // The pass died mid-exploration but its interned footprint is
+        // real: cache it so memory_stats() (and flow::Sweep's
+        // peak-resident aggregation) still sees the partial pass.
+        last_memory_ = e.memory;
+        throw;
+    }
 }
 
 void Verifier::fill_traces(Finding& finding,

@@ -9,6 +9,7 @@
 #include "dfs/dynamics.hpp"
 #include "dfs/model.hpp"
 #include "dfs/translate.hpp"
+#include "petri/checkpoint.hpp"
 #include "petri/parallel.hpp"
 #include "petri/persistence.hpp"
 #include "petri/predicate.hpp"
@@ -100,6 +101,23 @@ struct VerifyOptions {
     /// back to scratch silently. The same store must not be used by two
     /// explorations concurrently.
     std::shared_ptr<petri::ReuseStore> reuse;
+    /// Compact interning layout (petri::ReachabilityOptions::
+    /// compact_store): drops the id->record index and a quarter of the
+    /// table head-room for ~30% less non-record overhead per state.
+    /// Verdicts, witnesses and counters are bit-identical either way.
+    bool compact_store = false;
+    /// Periodic checkpointing (petri::ReachabilityOptions::
+    /// checkpoint_path): when non-empty, every exploration this verifier
+    /// runs serializes resume points there. See the engine option for
+    /// cadence and the kCanonicalCas / no-reuse restrictions.
+    std::string checkpoint_path;
+    /// Cadence forwarded to petri::ReachabilityOptions::checkpoint_every
+    /// (0 = engine default).
+    std::size_t checkpoint_every = 0;
+    /// Resume point forwarded to petri::ReachabilityOptions::resume: the
+    /// next exploration continues the checkpointed pass instead of
+    /// starting at the initial marking.
+    std::shared_ptr<const petri::StoreCheckpoint> resume;
 };
 
 /// A user-supplied Reach-style predicate for the standard checks'
@@ -217,6 +235,14 @@ public:
     /// (flow::Design::por_stats() wraps this in a std::optional instead).
     const petri::PorStats& por_stats() const noexcept { return last_por_; }
 
+    /// Explorations that requested cross-pass reuse but ran scratch (a
+    /// record-dimension or witness-mode mismatch). A nonzero count means
+    /// the "incremental" speed-up silently stopped being incremental —
+    /// flow::Design aggregates this into rap_reuse_fallbacks_total.
+    std::size_t reuse_fallbacks() const noexcept {
+        return reuse_fallbacks_;
+    }
+
     const dfs::Translation& translation() const noexcept {
         return model_->translation();
     }
@@ -248,6 +274,7 @@ private:
     VerifyOptions options_;
     std::shared_ptr<const CompiledModel> model_;
     mutable std::size_t explorations_ = 0;
+    mutable std::size_t reuse_fallbacks_ = 0;
     mutable petri::MemoryStats last_memory_;
     mutable petri::PorStats last_por_;
 };

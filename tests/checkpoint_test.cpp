@@ -1,0 +1,343 @@
+// Checkpoint/resume contract tests: a killed exploration resumed from
+// its last on-disk StoreCheckpoint must reproduce the uninterrupted
+// pass's (states, edges, verdicts, witnesses) exactly — on both engine
+// kinds — while corrupted files, foreign structures, reconfigured
+// initial markings and engine-kind mismatches are all refused loudly
+// instead of resuming as a silently wrong exploration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "petri/checkpoint.hpp"
+#include "petri/parallel.hpp"
+#include "petri/reachability.hpp"
+#include "petri/reuse.hpp"
+#include "petri_fixtures.hpp"
+
+namespace rap::petri {
+namespace {
+
+using namespace testfx;
+
+/// Exact-match comparison (tighter than the cross-engine differential):
+/// a resumed pass continues the same engine's deterministic walk, so
+/// even witness markings and traces must be identical.
+void expect_identical(const Net& net, const MultiResult& full,
+                      const MultiResult& resumed,
+                      const std::string& context) {
+    EXPECT_EQ(resumed.states_explored, full.states_explored) << context;
+    EXPECT_EQ(resumed.edges_explored, full.edges_explored) << context;
+    EXPECT_FALSE(resumed.truncated) << context;
+    EXPECT_EQ(sorted(resumed.deadlocks), sorted(full.deadlocks))
+        << context;
+    EXPECT_EQ(violation_set(resumed.persistence_violations),
+              violation_set(full.persistence_violations))
+        << context;
+    ASSERT_EQ(resumed.goals.size(), full.goals.size()) << context;
+    for (std::size_t g = 0; g < full.goals.size(); ++g) {
+        const auto& fg = full.goals[g];
+        const auto& rg = resumed.goals[g];
+        ASSERT_EQ(rg.found(), fg.found()) << context << " goal " << g;
+        if (!fg.found()) continue;
+        EXPECT_EQ(*rg.witness, *fg.witness) << context << " goal " << g;
+        ASSERT_TRUE(rg.witness_trace.has_value()) << context;
+        ASSERT_TRUE(fg.witness_trace.has_value()) << context;
+        EXPECT_EQ(rg.witness_trace->firings.size(),
+                  fg.witness_trace->firings.size())
+            << context << " goal " << g;
+        expect_replays(net, *rg.witness_trace, *rg.witness,
+                       context + " goal " + std::to_string(g));
+    }
+}
+
+std::string temp_path(const std::string& name) {
+    return testing::TempDir() + name;
+}
+
+/// Runs `query` with checkpointing on and a stop hook that kills the
+/// pass after `polls` cooperative-stop polls, leaving the last periodic
+/// checkpoint on disk. Returns the partial (truncated) result.
+MultiResult killed_run(const CompiledNet& compiled, const MultiQuery& query,
+                       const std::string& path, std::size_t threads,
+                       int polls, std::size_t every) {
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    options.checkpoint_path = path;
+    options.checkpoint_every = every;
+    auto count = std::make_shared<std::atomic<int>>(0);
+    options.stop = [count, polls] { return ++*count > polls; };
+    if (threads <= 1) {
+        ReachabilityExplorer explorer(compiled, options);
+        return explorer.run_query(query);
+    }
+    options.threads = threads;
+    ParallelReachabilityExplorer explorer(compiled, options);
+    return explorer.run_query(query);
+}
+
+TEST(Checkpoint, SequentialKillAndResumeMatchesUninterrupted) {
+    const Fixture fixture = gap_fixture();  // deadlocks -> witness paths
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    ReachabilityOptions base;
+    base.stop_at_first_match = false;
+    ReachabilityExplorer uninterrupted(compiled, base);
+    const auto reference = uninterrupted.run_query(bundle.query);
+    ASSERT_FALSE(reference.truncated);
+
+    // The gap model is 1904 states / 7808 edges; the sequential engine
+    // polls the stop hook every 256 edges, so 12 polls kill the pass
+    // about 40% in — after the head crossed the 256-state save cadence.
+    const std::string path = temp_path("ckpt_seq_kill.ckpt");
+    std::remove(path.c_str());
+    const auto partial =
+        killed_run(compiled, bundle.query, path, 1, 12, 256);
+    ASSERT_TRUE(partial.truncated) << "kill did not interrupt the pass";
+    ASSERT_LT(partial.states_explored, reference.states_explored)
+        << "kill landed after exhaustion; nothing left to resume";
+
+    const auto ckpt = std::make_shared<const StoreCheckpoint>(
+        StoreCheckpoint::load(path));
+    ASSERT_GT(ckpt->record_count, 0u);
+    ASSERT_LT(ckpt->record_count, reference.states_explored);
+
+    // Resume under both table layouts: dense discovery-order ids make
+    // the checkpoint layout-independent, so a legacy-layout checkpoint
+    // must continue identically in a compact-store pass and vice versa.
+    for (const bool compact : {false, true}) {
+        ReachabilityOptions resume = base;
+        resume.resume = ckpt;
+        resume.compact_store = compact;
+        ReachabilityExplorer resumed(compiled, resume);
+        const auto result = resumed.run_query(bundle.query);
+        expect_identical(fixture.net, reference, result,
+                         std::string("sequential resume, ") +
+                             (compact ? "compact" : "legacy") + " layout");
+    }
+}
+
+TEST(Checkpoint, ParallelKillAndResumeMatchesUninterrupted) {
+    // Large enough (~191k states) that 60 cooperative-stop polls always
+    // land mid-pass, whatever the 4 workers' schedule looks like.
+    const Fixture fixture = ope_fixture(3, 3);
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    ReachabilityOptions base;
+    base.stop_at_first_match = false;
+    base.threads = 4;
+    ParallelReachabilityExplorer uninterrupted(compiled, base);
+    const auto reference = uninterrupted.run_query(bundle.query);
+    ASSERT_FALSE(reference.truncated);
+
+    const std::string path = temp_path("ckpt_par_kill.ckpt");
+    std::remove(path.c_str());
+    const auto partial =
+        killed_run(compiled, bundle.query, path, 4, 60, 1);
+    ASSERT_TRUE(partial.truncated) << "kill did not interrupt the pass";
+    ASSERT_LT(partial.states_explored, reference.states_explored)
+        << "kill landed after exhaustion; nothing left to resume";
+
+    const auto ckpt = std::make_shared<const StoreCheckpoint>(
+        StoreCheckpoint::load(path));
+    ASSERT_EQ(ckpt->engine, StoreCheckpoint::Engine::kParallel);
+    ASSERT_GT(ckpt->record_count, 0u);
+
+    for (const bool compact : {false, true}) {
+        ReachabilityOptions resume = base;
+        resume.resume = ckpt;
+        resume.compact_store = compact;
+        ParallelReachabilityExplorer resumed(compiled, resume);
+        const auto result = resumed.run_query(bundle.query);
+        expect_identical(fixture.net, reference, result,
+                         std::string("parallel resume, ") +
+                             (compact ? "compact" : "legacy") + " layout");
+    }
+}
+
+TEST(Checkpoint, ResumedPassKeepsCheckpointingToTheNextFile) {
+    // The nightly soak's shape: resume from one night's checkpoint while
+    // writing the next night's. The resumed pass must both reproduce the
+    // uninterrupted result and leave a fresh loadable checkpoint behind.
+    const Fixture fixture = ope_fixture(3, 3);
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    ReachabilityOptions base;
+    base.stop_at_first_match = false;
+    ReachabilityExplorer uninterrupted(compiled, base);
+    const auto reference = uninterrupted.run_query(bundle.query);
+
+    const std::string first = temp_path("ckpt_chain_first.ckpt");
+    const std::string second = temp_path("ckpt_chain_second.ckpt");
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+    const auto partial =
+        killed_run(compiled, bundle.query, first, 1, 80, 1024);
+    ASSERT_TRUE(partial.truncated);
+
+    ReachabilityOptions resume = base;
+    resume.resume = std::make_shared<const StoreCheckpoint>(
+        StoreCheckpoint::load(first));
+    resume.checkpoint_path = second;
+    resume.checkpoint_every = 4096;
+    ReachabilityExplorer resumed(compiled, resume);
+    const auto result = resumed.run_query(bundle.query);
+    expect_identical(fixture.net, reference, result, "chained resume");
+
+    const auto next = StoreCheckpoint::load(second);
+    EXPECT_GT(next.record_count, resume.resume->record_count);
+}
+
+TEST(Checkpoint, CorruptedOrTruncatedFileRejectedLoudly) {
+    const Fixture fixture = ring_fixture(6);  // 8 states, tiny + fast
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    const std::string path = temp_path("ckpt_corrupt.ckpt");
+    std::remove(path.c_str());
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    options.checkpoint_path = path;
+    options.checkpoint_every = 4;
+    ReachabilityExplorer explorer(compiled, options);
+    explorer.run_query(bundle.query);
+    ASSERT_NO_THROW(StoreCheckpoint::load(path)) << "pristine file";
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 64u);
+
+    const std::string truncated = temp_path("ckpt_truncated.ckpt");
+    {
+        std::ofstream out(truncated, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_THROW(StoreCheckpoint::load(truncated), std::runtime_error);
+
+    const std::string flipped = temp_path("ckpt_flipped.ckpt");
+    {
+        std::vector<char> bad = bytes;
+        bad[bad.size() / 2] ^= 0x40;  // payload bit flip -> checksum
+        std::ofstream out(flipped, std::ios::binary);
+        out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+    EXPECT_THROW(StoreCheckpoint::load(flipped), std::runtime_error);
+
+    const std::string garbage = temp_path("ckpt_garbage.ckpt");
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "this is not a checkpoint";
+    }
+    EXPECT_THROW(StoreCheckpoint::load(garbage), std::runtime_error);
+
+    EXPECT_THROW(StoreCheckpoint::load(temp_path("ckpt_missing.ckpt")),
+                 std::runtime_error);
+}
+
+TEST(Checkpoint, StructuralOrMarkingChangeRefusedOnResume) {
+    const std::string path = temp_path("ckpt_structure.ckpt");
+    std::remove(path.c_str());
+    const Fixture source = ope_fixture(3, 3);
+    const CompiledNet compiled(source.net);
+    const QueryBundle bundle(source.net);
+    killed_run(compiled, bundle.query, path, 1, 30, 512);
+    const auto ckpt = std::make_shared<const StoreCheckpoint>(
+        StoreCheckpoint::load(path));
+
+    // Different structure: the digest mismatch must refuse the resume.
+    const Fixture other = ring_fixture(4);
+    const CompiledNet other_compiled(other.net);
+    const QueryBundle other_bundle(other.net);
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    options.resume = ckpt;
+    ReachabilityExplorer foreign(other_compiled, options);
+    EXPECT_THROW(foreign.run_query(other_bundle.query),
+                 std::runtime_error);
+
+    // Same structure, reconfigured initial marking (the gap model flips
+    // one ring's token): record 0 no longer matches, refused separately.
+    const Fixture gap = gap_fixture();
+    const CompiledNet gap_compiled(gap.net);
+    if (gap_compiled.structure_digest() == compiled.structure_digest()) {
+        const QueryBundle gap_bundle(gap.net);
+        ReachabilityExplorer reconfigured(gap_compiled, options);
+        EXPECT_THROW(reconfigured.run_query(gap_bundle.query),
+                     std::runtime_error);
+    }
+}
+
+TEST(Checkpoint, EngineKindMismatchRefused) {
+    const Fixture fixture = ope_fixture(3, 3);
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    const std::string seq_path = temp_path("ckpt_kind_seq.ckpt");
+    const std::string par_path = temp_path("ckpt_kind_par.ckpt");
+    std::remove(seq_path.c_str());
+    std::remove(par_path.c_str());
+    killed_run(compiled, bundle.query, seq_path, 1, 30, 512);
+    killed_run(compiled, bundle.query, par_path, 4, 60, 1);
+    const auto seq_ckpt = std::make_shared<const StoreCheckpoint>(
+        StoreCheckpoint::load(seq_path));
+    const auto par_ckpt = std::make_shared<const StoreCheckpoint>(
+        StoreCheckpoint::load(par_path));
+    ASSERT_EQ(seq_ckpt->engine, StoreCheckpoint::Engine::kSequential);
+    ASSERT_EQ(par_ckpt->engine, StoreCheckpoint::Engine::kParallel);
+
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    options.resume = par_ckpt;
+    ReachabilityExplorer sequential(compiled, options);
+    EXPECT_THROW(sequential.run_query(bundle.query), std::runtime_error);
+
+    options.resume = seq_ckpt;
+    options.threads = 4;
+    ParallelReachabilityExplorer parallel(compiled, options);
+    EXPECT_THROW(parallel.run_query(bundle.query), std::runtime_error);
+
+    // A 1-thread "parallel" pass IS the sequential code path, so it
+    // accepts the sequential checkpoint and refuses the parallel one.
+    options.threads = 1;
+    ParallelReachabilityExplorer delegated(compiled, options);
+    EXPECT_NO_THROW(delegated.run_query(bundle.query));
+    options.resume = par_ckpt;
+    ParallelReachabilityExplorer delegated_par(compiled, options);
+    EXPECT_THROW(delegated_par.run_query(bundle.query),
+                 std::runtime_error);
+}
+
+TEST(Checkpoint, ReuseStoreAndCheckpointingRefusedTogether) {
+    // A cross-pass ReuseStore retains rows the checkpoint cannot carry;
+    // both engines must refuse the combination up front rather than
+    // write checkpoints that cannot faithfully resume.
+    const Fixture fixture = ring_fixture(3);
+    const CompiledNet compiled(fixture.net);
+    const QueryBundle bundle(fixture.net);
+
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    options.reuse = std::make_shared<ReuseStore>();
+    options.checkpoint_path = temp_path("ckpt_reuse.ckpt");
+    ReachabilityExplorer sequential(compiled, options);
+    EXPECT_THROW(sequential.run_query(bundle.query), std::runtime_error);
+
+    options.threads = 4;
+    ParallelReachabilityExplorer parallel(compiled, options);
+    EXPECT_THROW(parallel.run_query(bundle.query), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rap::petri

@@ -433,6 +433,109 @@ TEST(Incremental, ExplicitReuseOptionOverridesDesignStore) {
         << "the exploration must have used the caller's store";
 }
 
+pipeline::Pipeline inc_sweep_factory(int stages, int depth) {
+    if (depth < 1 || depth > stages) {
+        throw std::invalid_argument(
+            "depth " + std::to_string(depth) + " out of range for " +
+            std::to_string(stages) + " stages");
+    }
+    // Depth-independent name: every (stages, schedule) chain shares one
+    // structure, so the shared store actually re-claims across depths.
+    return pipeline::build_pipeline(
+        "inc_sweep_s" + std::to_string(stages),
+        dfs::testing::ope_style_stages(stages, depth));
+}
+
+TEST(Incremental, ReuseFallbacksCountedAndSurfacedAtEveryLayer) {
+    // A store sized for one record geometry refuses the next net and the
+    // pass runs scratch — correct, but no longer incremental. That
+    // degradation must be countable at every layer instead of inferred
+    // from wall-clock drift: ReuseStore::fallbacks(), the per-pass
+    // MultiResult::reuse_fallback flag, the Design session aggregate and
+    // the sweep's rap_reuse_fallbacks_total metric.
+    const Net small = depth_net(2, 2);
+    const auto reuse = std::make_shared<ReuseStore>();
+    {
+        const CompiledNet compiled(small);
+        ReachabilityOptions options;
+        options.stop_at_first_match = false;
+        options.reuse = reuse;
+        const auto warm = ReachabilityExplorer(compiled, options)
+                              .run_query(QueryBundle(small).query);
+        EXPECT_FALSE(warm.reuse_fallback) << "matched pass is no fallback";
+    }
+    EXPECT_EQ(reuse->fallbacks(), 0u);
+
+    Net wide("inc_fallback_wide");
+    std::vector<PlaceId> places;
+    for (int i = 0; i < 70; ++i) {
+        places.push_back(wide.add_place("p" + std::to_string(i), i == 0));
+    }
+    for (int i = 0; i + 1 < 70; ++i) {
+        const TransitionId t = wide.add_transition("t" + std::to_string(i));
+        wide.add_input_arc(places[i], t);
+        wide.add_output_arc(t, places[i + 1]);
+    }
+    const CompiledNet cwide(wide);
+    ASSERT_NE(cwide.marking_words(), reuse->marking_words());
+
+    const QueryBundle bundle(wide);
+    ReachabilityOptions options;
+    options.stop_at_first_match = false;
+    options.reuse = reuse;
+    const auto seq =
+        ReachabilityExplorer(cwide, options).run_query(bundle.query);
+    EXPECT_TRUE(seq.reuse_fallback);
+    EXPECT_EQ(reuse->fallbacks(), 1u);
+
+    options.threads = 4;
+    const auto par =
+        ParallelReachabilityExplorer(cwide, options).run_query(bundle.query);
+    EXPECT_TRUE(par.reuse_fallback);
+    EXPECT_EQ(reuse->fallbacks(), 2u);
+    expect_identical(wide, seq, par, "fallback passes stay exact");
+
+    // Design level: a caller-supplied store warmed on the wide net
+    // mismatches the small OPE model, so the session aggregate (the
+    // number flow::Sweep folds into rap_reuse_fallbacks_total) goes
+    // nonzero while the verdicts stay clean.
+    const auto wide_store = std::make_shared<ReuseStore>();
+    {
+        ReachabilityOptions wopts;
+        wopts.stop_at_first_match = false;
+        wopts.reuse = wide_store;
+        ReachabilityExplorer(cwide, wopts).run_query(bundle.query);
+    }
+    ASSERT_EQ(wide_store->marking_words(), cwide.marking_words());
+    flow::DesignOptions dopts;
+    dopts.verify.threads = 1;
+    dopts.verify.reuse = wide_store;
+    flow::Design design(
+        pipeline::build_pipeline("inc_fallback_design",
+                                 dfs::testing::ope_style_stages(2, 2)),
+        dopts);
+    EXPECT_TRUE(design.verify().clean());
+    EXPECT_GE(design.reuse_fallbacks(), 1u);
+
+    // Sweep level: every row of a cold chain reports its fallbacks and
+    // the handle's metric is their exact sum.
+    flow::DesignOptions sbase;
+    sbase.verify.threads = 1;
+    sbase.verify.reuse = wide_store;
+    flow::Sweep sweep(&inc_sweep_factory, sbase);
+    flow::Sweep::Handle handle =
+        sweep.stages({2}).depths(1, 2).workers(1).launch();
+    const std::vector<flow::SweepResult> rows = handle.wait();
+    ASSERT_EQ(rows.size(), 2u);
+    std::size_t total = 0;
+    for (const flow::SweepResult& row : rows) {
+        EXPECT_GE(row.reuse_fallbacks, 1u) << row.point.label;
+        total += row.reuse_fallbacks;
+    }
+    EXPECT_EQ(handle.metrics().value("rap_reuse_fallbacks_total"),
+              static_cast<double>(total));
+}
+
 // ------------------------------------------------------ set_depth guard --
 
 TEST(Incremental, SetDepthValidatesTheWholeRequestBeforeApplying) {
@@ -482,19 +585,6 @@ TEST(Incremental, SetDepthValidatesTheWholeRequestBeforeApplying) {
 }
 
 // --------------------------------------------------- flow::Sweep surface --
-
-pipeline::Pipeline inc_sweep_factory(int stages, int depth) {
-    if (depth < 1 || depth > stages) {
-        throw std::invalid_argument(
-            "depth " + std::to_string(depth) + " out of range for " +
-            std::to_string(stages) + " stages");
-    }
-    // Depth-independent name: every (stages, schedule) chain shares one
-    // structure, so the shared store actually re-claims across depths.
-    return pipeline::build_pipeline(
-        "inc_sweep_s" + std::to_string(stages),
-        dfs::testing::ope_style_stages(stages, depth));
-}
 
 TEST(Incremental, SweepSharedStoreMatchesIndependentSessions) {
     auto rows_with = [](bool shared) {

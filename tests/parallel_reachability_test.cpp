@@ -91,6 +91,46 @@ TEST(ParallelReachability, DifferentialAgainstSequentialOnEveryFixture) {
     }
 }
 
+TEST(CompactStore, DifferentialZooAcrossThreadCounts) {
+    // The capacity-tier layout: id-less interning slots carrying arena
+    // back-references. Results must be bit-identical to the legacy
+    // layout on the whole zoo at 1 (sequential) and 2/4/8 threads — the
+    // layout changes where records live, never what gets explored.
+    for (const Fixture& fixture : all_fixtures()) {
+        const CompiledNet compiled(fixture.net);
+        const QueryBundle bundle(fixture.net);
+
+        ReachabilityOptions seq_options;
+        seq_options.stop_at_first_match = false;
+        ReachabilityExplorer seq(compiled, seq_options);
+        const auto reference = seq.run_query(bundle.query);
+
+        ReachabilityOptions compact_seq = seq_options;
+        compact_seq.compact_store = true;
+        ReachabilityExplorer cseq(compiled, compact_seq);
+        const auto compact_reference = cseq.run_query(bundle.query);
+        expect_equivalent(fixture.net, reference, compact_reference,
+                          fixture.name + " compact @1t");
+        EXPECT_TRUE(compact_reference.memory.store.compact)
+            << fixture.name;
+        EXPECT_FALSE(reference.memory.store.compact) << fixture.name;
+
+        for (const std::size_t threads : kThreadCounts) {
+            ReachabilityOptions options;
+            options.stop_at_first_match = false;
+            options.threads = threads;
+            options.compact_store = true;
+            ParallelReachabilityExplorer par(compiled, options);
+            const auto result = par.run_query(bundle.query);
+            expect_equivalent(fixture.net, reference, result,
+                              fixture.name + " compact @" +
+                                  std::to_string(threads) + "t");
+            EXPECT_TRUE(result.memory.store.compact)
+                << fixture.name << " @" << threads << "t";
+        }
+    }
+}
+
 TEST(ParallelReachability, RandomizedDifferentialFuzzer) {
     // >= 20 seeded random models across three topology classes (rings
     // with bridges, fork/join blocks, bridged meshes), each cross-checked

@@ -466,5 +466,54 @@ TEST(Reachability, ExplorerInstanceIsReusable) {
     EXPECT_EQ(explorer.count_states(), 2u);
 }
 
+// --------------------------------------------------- memory accounting --
+
+/// `n` toggles plus `dead` permanently disabled transitions. The dead
+/// transitions all consume one never-marked place, so they never fire and
+/// change nothing about the reachable set — but they widen every
+/// enabled-set row, making the frontier cache's transient rows the
+/// dominant memory term instead of the interned store.
+Net make_wide_toggles(int n, int dead) {
+    Net net = make_toggles(n);
+    const auto never = net.add_place("never", false);
+    for (int i = 0; i < dead; ++i) {
+        const auto t = net.add_transition("dead" + std::to_string(i));
+        net.add_input_arc(never, t);
+    }
+    return net;
+}
+
+TEST(Reachability, PeakMemoryCapturesMidPassFrontierSpike) {
+    // Regression: the sequential engine used to sample peak memory only
+    // at frontier-release boundaries, so enabled-row blocks allocated
+    // and given back *between* two boundaries never showed up in
+    // peak_bytes and the reported peak collapsed to the end-of-pass
+    // resident footprint. 15 toggles give 2^15 states in a binomial
+    // layer profile whose widest live window holds ~12k rows; 4066 dead
+    // transitions fatten each row to 64 words, so the transient rows
+    // dwarf both the interned store and the single row block still
+    // resident after the last layer drains. A correct sampler must
+    // therefore report a peak strictly above the final resident bytes.
+    const Net net = make_wide_toggles(15, 4066);
+    ReachabilityOptions options;
+    options.max_states = std::size_t{1} << 16;
+    options.frontier_enabled_cache = true;
+    ReachabilityExplorer explorer(net, options);
+    const auto result = explorer.explore_all();
+    ASSERT_EQ(result.states_explored, std::size_t{1} << 15);
+    ASSERT_FALSE(result.truncated);
+    EXPECT_GT(result.memory.peak_bytes, result.memory.resident_bytes);
+
+    // The same pass without the diet keeps every row resident, which
+    // bounds the dieted peak from above: the spike the sampler reports
+    // is a genuine intermediate, not the whole undieted cache.
+    ReachabilityOptions no_diet = options;
+    no_diet.frontier_enabled_cache = false;
+    ReachabilityExplorer reference(net, no_diet);
+    const auto full = reference.explore_all();
+    ASSERT_EQ(full.states_explored, result.states_explored);
+    EXPECT_LT(result.memory.peak_bytes, full.memory.resident_bytes);
+}
+
 }  // namespace
 }  // namespace rap::petri

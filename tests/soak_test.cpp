@@ -10,9 +10,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 
 #include "dfs/translate.hpp"
 #include "ope/dfs_models.hpp"
+#include "petri/checkpoint.hpp"
 #include "petri/compiled.hpp"
 #include "petri/parallel.hpp"
 #include "petri/predicate.hpp"
@@ -42,6 +45,27 @@ TEST(Soak, FourStageOpeExploresNineteenMillionStates) {
     options.max_states = 25'000'000;
     options.stop_at_first_match = false;
     options.threads = 4;  // pinned: the parallel engine even on 1 core
+
+    // RAP_SOAK_CHECKPOINT=<path>: serialize a StoreCheckpoint there every
+    // BFS layer and, when the previous nightly left one behind (the CI
+    // job restores it from the artifact store), resume from it — the
+    // continued pass must land on exactly the same pinned counts, which
+    // makes every nightly a checkpoint/resume differential at full scale.
+    const char* ckpt_path = std::getenv("RAP_SOAK_CHECKPOINT");
+    if (ckpt_path != nullptr) {
+        options.checkpoint_path = ckpt_path;
+        if (std::ifstream(ckpt_path, std::ios::binary).good()) {
+            options.resume = std::make_shared<const StoreCheckpoint>(
+                StoreCheckpoint::load(ckpt_path));
+            std::printf("soak: resuming from checkpoint '%s' (%llu of "
+                        "%llu records expanded)\n",
+                        ckpt_path,
+                        static_cast<unsigned long long>(
+                            options.resume->head),
+                        static_cast<unsigned long long>(
+                            options.resume->record_count));
+        }
+    }
     ParallelReachabilityExplorer explorer(compiled, options);
 
     // Deadlock goal + collection keeps the canonical-min witness
@@ -85,6 +109,10 @@ TEST(Soak, FourStageOpeExploresNineteenMillionStates) {
     // heuristic evolves (no pinned count — the ratio is the bench_por /
     // compare.py --por gate's job).
     options.por = true;
+    // The reduced pass explores a different (smaller) state set: its
+    // checkpoint must never overwrite — or resume from — the full pass's.
+    options.checkpoint_path.clear();
+    options.resume = nullptr;
     ParallelReachabilityExplorer reduced_explorer(compiled, options);
     const auto reduced = reduced_explorer.run_query(query);
     EXPECT_FALSE(reduced.truncated);

@@ -10,6 +10,8 @@
 #include <cctype>
 #include <cmath>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <set>
 #include <sstream>
@@ -264,6 +266,73 @@ TEST(Sweep, PerConfigTimeoutMarksRowTimedOut) {
     }
     EXPECT_TRUE(any_truncated);
     EXPECT_LT(rows[0].states, 191000u);
+}
+
+// A pass that dies mid-exploration must not vanish from the memory
+// accounting: petri::ExplorationAborted carries the interned footprint at
+// the moment of death through the Verifier into the row and the sweep's
+// peak-resident aggregate. An unwritable checkpoint directory kills the
+// pass deterministically at the first save boundary (head 64).
+TEST(Sweep, AbortedPassStillSalvagesPartialMemory) {
+    DesignOptions base;
+    base.verify.checkpoint_every = 64;
+    Sweep sweep = Sweep::ope(base);
+    Sweep::Handle handle = sweep.stages({3})
+                               .depths({3})
+                               .workers(1)
+                               .checkpoint_dir("/nonexistent-rap-ckpt-dir")
+                               .launch();
+    const std::vector<SweepResult> rows = handle.wait();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].status, SweepStatus::kInvalid);
+    EXPECT_NE(rows[0].error.find("cannot be opened for writing"),
+              std::string::npos)
+        << rows[0].error;
+    // The partial pass interned at least the 64 expanded states before
+    // the save threw — that footprint survives into the row...
+    ASSERT_TRUE(rows[0].memory.has_value());
+    EXPECT_GT(rows[0].memory->records, 64u);
+    EXPECT_GT(rows[0].memory->resident_bytes, 0u);
+    // ...and into the sweep-wide aggregate (this used to report 0).
+    EXPECT_GT(handle.metrics().value("rap_sweep_peak_resident_bytes"),
+              0.0);
+}
+
+// checkpoint_dir happy path: each grid point periodically serializes to
+// `<dir>/<flattened-label>.ckpt`, and the finished handle exposes the
+// peak configuration's store geometry gauges.
+TEST(Sweep, CheckpointDirWritesPerPointFiles) {
+    std::string dir = testing::TempDir();
+    while (!dir.empty() && dir.back() == '/') dir.pop_back();
+    const std::string path = dir + "/s3_d3_v0.ckpt";
+    std::remove(path.c_str());
+
+    DesignOptions base;
+    base.verify.checkpoint_every = 4096;
+    Sweep sweep = Sweep::ope(base);
+    Sweep::Handle handle =
+        sweep.stages({3}).depths({3}).workers(1).checkpoint_dir(dir).launch();
+    const std::vector<SweepResult> rows = handle.wait();
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].status, SweepStatus::kOk) << rows[0].error;
+
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "no checkpoint written at " << path;
+
+    const Metrics m = handle.metrics();
+    EXPECT_GT(m.value("rap_store_slots"), 0.0);
+    EXPECT_GT(m.value("rap_store_table_bytes"), 0.0);
+    EXPECT_GT(m.value("rap_store_arena_bytes"), 0.0);
+    EXPECT_GT(m.value("rap_store_load_factor"), 0.0);
+    EXPECT_LE(m.value("rap_store_load_factor"), 1.0);
+}
+
+// The engines refuse reuse + checkpoint, so the grid driver rejects the
+// shared_store + checkpoint_dir combination before any worker starts.
+TEST(Sweep, CheckpointDirRefusesSharedStoreChains) {
+    Sweep sweep = Sweep::ope();
+    sweep.stages({2}).depths(1, 2).shared_store(true).checkpoint_dir("/tmp");
+    EXPECT_THROW(sweep.launch(), std::invalid_argument);
 }
 
 TEST(Metrics, PrometheusExpositionFormat) {
